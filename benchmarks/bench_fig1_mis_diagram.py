@@ -1,0 +1,35 @@
+"""FIG1: regenerate Figure 1 — the edge diagram of the MIS problem.
+
+Paper claim: in the MIS encoding, O is stronger than P and M is
+unrelated to both.
+"""
+
+from repro.analysis.tables import Table
+from repro.core.diagram import edge_diagram
+from repro.problems.mis import mis_problem
+
+
+def test_fig1_mis_edge_diagram(benchmark):
+    diagram = benchmark(lambda: edge_diagram(mis_problem(3)))
+    assert diagram.hasse_edges() == {("P", "O")}
+    assert not diagram.at_least_as_strong("M", "P")
+    assert not diagram.at_least_as_strong("P", "M")
+
+    table = Table(
+        "Figure 1 - edge diagram of MIS (computed)",
+        ["relation", "paper", "measured"],
+    )
+    table.add_row("P -> O (O stronger than P)", "yes", diagram.stronger("O", "P"))
+    table.add_row("M comparable to P", "no", diagram.at_least_as_strong("M", "P")
+                  or diagram.at_least_as_strong("P", "M"))
+    table.add_row("M comparable to O", "no", diagram.at_least_as_strong("M", "O")
+                  or diagram.at_least_as_strong("O", "M"))
+    table.print()
+
+
+def test_fig1_stable_across_delta(benchmark):
+    def compute():
+        return [edge_diagram(mis_problem(delta)).hasse_edges() for delta in range(2, 9)]
+
+    edge_sets = benchmark(compute)
+    assert all(edges == {("P", "O")} for edges in edge_sets)

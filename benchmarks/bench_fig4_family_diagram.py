@@ -1,0 +1,51 @@
+"""FIG4: regenerate Figure 4 — the edge diagram of Pi_Delta(a, x).
+
+Paper claim: the diagram is the chain P -> A -> O -> X with M -> X on
+the side, independent of a and x (the edge constraint does not involve
+them).
+"""
+
+import itertools
+
+from repro.analysis.tables import Table
+from repro.core.diagram import edge_diagram
+from repro.problems.family import family_problem
+
+EXPECTED = {("P", "A"), ("A", "O"), ("O", "X"), ("M", "X")}
+
+
+def test_fig4_family_edge_diagram(benchmark):
+    diagram = benchmark(lambda: edge_diagram(family_problem(5, 3, 1)))
+    assert diagram.hasse_edges() == EXPECTED
+
+    table = Table(
+        "Figure 4 - edge diagram of Pi_Delta(a, x) (computed)",
+        ["Hasse edge (weak -> strong)", "in paper figure"],
+    )
+    for weak, strong in sorted(diagram.hasse_edges()):
+        table.add_row(f"{weak} -> {strong}", (weak, strong) in EXPECTED)
+    table.print()
+
+
+def test_fig4_parameter_sweep(benchmark):
+    def sweep():
+        edge_sets = []
+        for delta in (4, 5, 6, 8):
+            for a, x in itertools.product(range(delta + 1), repeat=2):
+                edge_sets.append(
+                    edge_diagram(family_problem(delta, a, x)).hasse_edges()
+                )
+        return edge_sets
+
+    edge_sets = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    assert all(edges == EXPECTED for edges in edge_sets)
+
+
+def test_fig4_right_closed_sets_are_the_lemma6_eight(benchmark):
+    diagram = benchmark(lambda: edge_diagram(family_problem(6, 4, 1)))
+    expected_sets = {
+        frozenset("X"), frozenset("MX"), frozenset("OX"), frozenset("MOX"),
+        frozenset("AOX"), frozenset("MAOX"), frozenset("PAOX"),
+        frozenset("MPAOX"),
+    }
+    assert set(diagram.right_closed_sets()) == expected_sets

@@ -1,0 +1,68 @@
+"""LEM13: the Omega(log Delta) chain — length vs Delta, and vs k.
+
+This is the paper's central quantitative object: the number of
+round-elimination steps certified by the problem family.  The series
+must grow linearly in log Delta, and collapse once k approaches a
+power of Delta (the k <= Delta^epsilon hypothesis).
+"""
+
+import math
+
+from repro.analysis.tables import Table, series
+from repro.lowerbound.sequence import (
+    lemma13_chain,
+    max_k_for_logdelta_bound,
+    sequence_length,
+    verify_chain_arithmetic,
+)
+
+
+def test_lemma13_length_vs_delta(once):
+    exponents = list(range(4, 31, 2))
+
+    def compute():
+        return [sequence_length(2**e, 0) for e in exponents]
+
+    lengths = once(compute)
+    table = Table(
+        "Lemma 13 - chain length t(Delta) (the Omega(log Delta) series)",
+        ["log2 Delta", "t(Delta)", "t / log2 Delta"],
+    )
+    for exponent, length in zip(exponents, lengths):
+        table.add_row(exponent, length, length / exponent)
+    table.print()
+    print("shape:", series(lengths))
+
+    # Linear in log Delta: ratio t / log2(Delta) converges into [1/4, 1/2].
+    ratios = [length / exponent for exponent, length in zip(exponents, lengths)]
+    assert all(b >= a for a, b in zip(lengths, lengths[1:]))
+    assert 0.2 <= ratios[-1] <= 0.5
+    # Certified: every chain passes the side-condition audit.
+    for exponent in (8, 16, 24):
+        assert verify_chain_arithmetic(lemma13_chain(2**exponent, 0))
+
+
+def test_lemma13_length_vs_k(once):
+    delta = 2**15
+
+    def compute():
+        ks = [0, 1, 2, 4, 8, 16, 64, 256, 1024, 4096]
+        return [(k, sequence_length(delta, k)) for k in ks]
+
+    rows = once(compute)
+    table = Table(
+        f"Lemma 13 - chain length vs k (Delta = 2^15); the k <= Delta^eps edge",
+        ["k", "t(Delta, k)", "k as Delta^eps"],
+    )
+    for k, length in rows:
+        eps = math.log(k, delta) if k > 1 else 0.0
+        table.add_row(k, length, f"eps = {eps:.2f}")
+    table.print()
+    lengths = [length for _, length in rows]
+    assert all(b <= a for a, b in zip(lengths, lengths[1:]))
+    assert lengths[0] >= 4
+    assert lengths[-1] <= 1
+
+    threshold = max_k_for_logdelta_bound(delta)
+    print(f"largest k retaining half the k=0 chain: {threshold}")
+    assert threshold >= delta**0.2

@@ -1,0 +1,54 @@
+"""FIG5 / LEM6: regenerate Lemma 6 and Figure 5.
+
+The engine recomputes R(Pi_Delta(a, x)) across a (Delta, a, x) sweep
+and must reproduce the claimed normal form exactly; the node diagram of
+the result must be the Figure 5 Hasse diagram.
+"""
+
+from repro.analysis.tables import Table
+from repro.lowerbound.lemma6 import (
+    FIGURE5_HASSE_EDGES,
+    compute_r_of_family,
+    expected_r_of_family,
+    figure5_diagram,
+    verify_lemma6,
+)
+
+SWEEP = [(4, 3, 1), (5, 3, 1), (5, 4, 2), (6, 4, 1), (6, 5, 2), (7, 5, 1)]
+
+
+def test_lemma6_normal_form_sweep(once):
+    def sweep():
+        return [verify_lemma6(delta, a, x) for delta, a, x in SWEEP]
+
+    results = once(sweep)
+    assert all(results)
+
+    table = Table(
+        "Lemma 6 - R(Pi_Delta(a, x)) equals the claimed normal form",
+        ["delta", "a", "x", "labels", "node configs", "matches paper"],
+    )
+    for (delta, a, x), ok in zip(SWEEP, results):
+        problem = expected_r_of_family(delta, a, x)
+        table.add_row(delta, a, x, len(problem.alphabet),
+                      len(problem.node_constraint), ok)
+    table.print()
+
+
+def test_lemma6_single_instance_timing(benchmark):
+    problem = benchmark(lambda: compute_r_of_family(5, 3, 1).problem)
+    assert len(problem.alphabet) == 8
+    assert len(problem.edge_constraint) == 4
+
+
+def test_figure5_node_diagram(benchmark):
+    diagram = benchmark(lambda: figure5_diagram(6, 4, 1))
+    assert diagram.hasse_edges() == FIGURE5_HASSE_EDGES
+
+    table = Table(
+        "Figure 5 - node diagram of R(Pi_Delta(a, x)) (computed)",
+        ["Hasse edge (weak -> strong)"],
+    )
+    for weak, strong in sorted(diagram.hasse_edges()):
+        table.add_row(f"{weak} -> {strong}")
+    table.print()

@@ -1,0 +1,62 @@
+"""LEM8: Pi+ is one round easier — direct engine check + the paper's
+case analysis at larger Delta.
+
+The direct check computes the node constraint of Rbar(R(Pi)) in full
+and relaxes every configuration into Pi_rel; the argument check
+executes the proof's right-closedness and counting facts, which scale
+to Delta far beyond what the direct computation can reach.
+"""
+
+from repro.analysis.tables import Table
+from repro.lowerbound.lemma8 import verify_lemma8_argument, verify_lemma8_direct
+
+DIRECT_SWEEP = [(3, 2, 0), (4, 3, 1), (5, 3, 1), (5, 4, 2)]
+ARGUMENT_SWEEP = [(6, 4, 1), (8, 6, 2), (10, 7, 2), (12, 9, 3), (14, 10, 3)]
+
+
+def test_lemma8_direct_sweep(once):
+    results = once(
+        lambda: [verify_lemma8_direct(delta, a, x) for delta, a, x in DIRECT_SWEEP]
+    )
+    table = Table(
+        "Lemma 8 (direct) - all configs of Rbar(R(Pi)) relax into Pi_rel",
+        ["delta", "a", "x", "verified"],
+    )
+    for (delta, a, x), ok in zip(DIRECT_SWEEP, results):
+        table.add_row(delta, a, x, ok)
+    table.print()
+    assert all(results)
+
+
+def test_lemma8_argument_sweep(once):
+    reports = once(
+        lambda: [
+            verify_lemma8_argument(delta, a, x) for delta, a, x in ARGUMENT_SWEEP
+        ]
+    )
+    table = Table(
+        "Lemma 8 (paper's case analysis) - at Delta beyond direct reach",
+        ["delta", "a", "x", "diagram facts", "counting facts", "all ok"],
+    )
+    for (delta, a, x), report in zip(ARGUMENT_SWEEP, reports):
+        diagram_facts = all(
+            [
+                report.no_p_implies_mubq,
+                report.no_u_implies_abpq,
+                report.no_m_implies_ouabpq,
+                report.no_b_implies_pq,
+                report.no_a_implies_ubpq,
+            ]
+        )
+        counting_facts = (
+            report.no_m_p_u_configuration and report.no_a_u_b_configuration
+        )
+        table.add_row(delta, a, x, diagram_facts, counting_facts, report.ok)
+    table.print()
+    assert all(report.ok for report in reports)
+
+
+def test_lemma8_direct_single_timing(benchmark):
+    assert benchmark.pedantic(
+        verify_lemma8_direct, args=(4, 3, 1), iterations=1, rounds=3
+    )

@@ -1,0 +1,96 @@
+"""LINE: the Section 1.1 line-graph claims, exercised at scale.
+
+Two claims: (1) an MIS of L(G) maps to a maximal matching of G;
+(2) outdegree <= k in a line-graph subgraph forces degree O(k) — the
+reason the paper's k-outdegree and k-degree bounds coincide on line
+graphs.
+"""
+
+import random
+
+from repro.algorithms.greedy import greedy_mis
+from repro.algorithms.luby import run_luby_mis
+from repro.analysis.tables import Table
+from repro.sim.generators import random_tree_bounded_degree, truncated_regular_tree
+from repro.sim.transform import (
+    degeneracy_orientation,
+    induced_subgraph,
+    is_maximal_matching,
+    line_graph,
+    matching_from_line_graph_mis,
+)
+from repro.sim.verifiers import verify_mis
+
+
+def test_line_graph_mis_is_maximal_matching(once):
+    def run_all():
+        rows = []
+        for delta, depth in ((3, 4), (4, 3), (5, 3)):
+            base = truncated_regular_tree(delta, depth)
+            line = line_graph(base)
+            result = run_luby_mis(line.graph, seed=delta)
+            mis = {node for node in range(line.graph.n) if result.outputs[node]}
+            matching = matching_from_line_graph_mis(base, line, mis)
+            rows.append(
+                (
+                    delta,
+                    base.n,
+                    line.graph.n,
+                    verify_mis(line.graph, mis).ok,
+                    is_maximal_matching(base, matching),
+                )
+            )
+        return rows
+
+    rows = once(run_all)
+    table = Table(
+        "Line graphs - MIS of L(G) == maximal matching of G (Sec. 1.1)",
+        ["delta", "|V(G)|", "|V(L(G))|", "MIS valid", "matching maximal"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    table.print()
+    assert all(row[3] and row[4] for row in rows)
+
+
+def test_outdegree_vs_degree_in_line_graphs(once):
+    """Measured max-degree / outdegree ratio across random samples: the
+    paper's O(k) with the clique argument's factor ~4 as the ceiling."""
+
+    def run_all():
+        worst = 0.0
+        samples = 0
+        for seed in range(30):
+            rng = random.Random(seed)
+            base = random_tree_bounded_degree(60, 5, rng)
+            line = line_graph(base)
+            selected = {
+                node for node in range(line.graph.n) if rng.random() < 0.6
+            }
+            if len(selected) < 2:
+                continue
+            subgraph, _ = induced_subgraph(line.graph, selected)
+            _, degeneracy = degeneracy_orientation(subgraph)
+            max_degree = max(
+                subgraph.degree(node) for node in range(subgraph.n)
+            )
+            if degeneracy:
+                worst = max(worst, max_degree / degeneracy)
+            samples += 1
+        return worst, samples
+
+    worst, samples = once(run_all)
+    table = Table(
+        "Line graphs - degree / outdegree ratio over random subsets",
+        ["samples", "worst degree/outdeg ratio", "paper bound O(k): factor <= ~4"],
+    )
+    table.add_row(samples, worst, worst <= 4.5)
+    table.print()
+    assert samples >= 20
+    assert worst <= 4.5
+
+
+def test_line_graph_construction_timing(benchmark):
+    base = truncated_regular_tree(4, 4)
+    result = benchmark(lambda: line_graph(base))
+    assert result.graph.n == base.m

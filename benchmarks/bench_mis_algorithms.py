@@ -1,0 +1,78 @@
+"""MIS-ALGS: the Section 1.3 algorithm landscape, measured.
+
+Round counts of Luby, the Ghaffari-style MIS and the deterministic
+Cole-Vishkin pipeline on trees of growing size; outputs verified.
+The shape to reproduce: Luby ~ log n, Ghaffari-style flat-ish in n
+(log Delta + lower-order), Cole-Vishkin ~ log* n.
+"""
+
+import random
+
+from repro.algorithms.cole_vishkin import run_cole_vishkin
+from repro.algorithms.ghaffari import run_ghaffari_mis
+from repro.algorithms.luby import run_luby_mis
+from repro.algorithms.sweep import run_mis_sweep
+from repro.analysis.bounds import log_star
+from repro.analysis.tables import Table
+from repro.sim.generators import random_tree_bounded_degree
+from repro.sim.verifiers import verify_mis
+
+
+def _mis_from(result, graph):
+    return {node for node in range(graph.n) if result.outputs[node]}
+
+
+def test_mis_round_counts_vs_n(once):
+    delta = 4
+
+    def compute():
+        rows = []
+        for n in (50, 200, 800):
+            graph = random_tree_bounded_degree(n, delta, random.Random(n))
+            luby = run_luby_mis(graph, seed=1)
+            ghaffari = run_ghaffari_mis(graph, seed=1)
+            coloring = run_cole_vishkin(graph)
+            sweep = run_mis_sweep(graph, coloring.outputs, 3)
+            assert verify_mis(graph, _mis_from(luby, graph)).ok
+            assert verify_mis(graph, _mis_from(ghaffari, graph)).ok
+            assert verify_mis(graph, _mis_from(sweep, graph)).ok
+            rows.append(
+                (n, luby.rounds, ghaffari.rounds,
+                 coloring.rounds + sweep.rounds, log_star(n))
+            )
+        return rows
+
+    rows = once(compute)
+    table = Table(
+        f"MIS on random trees (max degree {delta}) - rounds, all verified",
+        ["n", "Luby", "Ghaffari-style", "CV + sweep", "log* n"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    table.print()
+    # Shapes: CV pipeline grows by at most 2 rounds over a 16x n range;
+    # Luby stays within a generous O(log n).
+    deterministic = [row[3] for row in rows]
+    assert deterministic[-1] - deterministic[0] <= 2
+    for n, luby_rounds, *_ in rows:
+        import math
+
+        assert luby_rounds <= 8 * math.log2(n)
+
+
+def test_luby_timing(benchmark):
+    graph = random_tree_bounded_degree(300, 4, random.Random(7))
+    result = benchmark(lambda: run_luby_mis(graph, seed=3))
+    assert verify_mis(graph, _mis_from(result, graph)).ok
+
+
+def test_mis_size_quality(once):
+    """|MIS| is within the classic bounds n/(Delta+1) <= |MIS|."""
+
+    def compute():
+        graph = random_tree_bounded_degree(500, 5, random.Random(2))
+        result = run_luby_mis(graph, seed=5)
+        return graph, _mis_from(result, graph)
+
+    graph, selected = once(compute)
+    assert len(selected) >= graph.n / (graph.max_degree() + 1)

@@ -1,0 +1,135 @@
+"""THM1/COR2: the lifted lower bounds and the improvement over prior work.
+
+Regenerates the paper's headline comparison: Theorem 1's
+Omega(min{log Delta, log_Delta n}) against the FOCS'20 bound it
+improves (log Delta / loglog Delta), plus the Corollary 2 balancing
+choice Delta ~ 2^sqrt(log n).
+"""
+
+from repro.analysis.bounds import (
+    bbo2020_deterministic_lower_bound,
+    bbo2020_randomized_lower_bound,
+    this_paper_deterministic_shape,
+)
+from repro.analysis.tables import Table
+from repro.lowerbound.lift import (
+    corollary2_delta_choice,
+    corollary2_deterministic_bound,
+    corollary2_randomized_bound,
+    lower_bound_summary,
+    theorem1_deterministic_bound,
+    theorem1_randomized_bound,
+)
+
+
+def test_theorem1_bound_table(once):
+    def compute():
+        rows = []
+        for exponent in (6, 9, 12, 15, 18):
+            delta = 2**exponent
+            for n_exponent in (24, 64, 256):
+                summary = lower_bound_summary(2**n_exponent, delta, 0)
+                rows.append(
+                    (
+                        f"2^{exponent}",
+                        f"2^{n_exponent}",
+                        summary["chain_length"],
+                        summary["deterministic_rounds"],
+                        summary["randomized_rounds"],
+                        summary["premises_ok"],
+                    )
+                )
+        return rows
+
+    rows = once(compute)
+    table = Table(
+        "Theorem 1 - certified lower bounds (rounds), via Lemma 13 + Theorem 14",
+        ["Delta", "n", "t(Delta)", "det bound", "rand bound", "premises"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    table.print()
+    assert all(row[-1] for row in rows)
+    # min-structure: the bound never exceeds the chain length.
+    for row in rows:
+        assert row[3] <= row[2]
+
+
+def test_improvement_over_focs20(once):
+    """The paper's improvement: log Delta vs log Delta / loglog Delta.
+
+    Who wins: this paper, by a factor growing like loglog Delta (for n
+    large enough that the Delta branch binds)."""
+    n = 10**3000
+
+    def compute():
+        rows = []
+        for exponent in (8, 12, 16, 24, 32, 48, 64):
+            delta = 2.0**exponent
+            ours = this_paper_deterministic_shape(n, delta)
+            focs20 = bbo2020_deterministic_lower_bound(n, delta)
+            rows.append((exponent, ours, focs20, ours / focs20))
+        return rows
+
+    rows = once(compute)
+    table = Table(
+        "Improvement over [5] (FOCS'20) - deterministic, Delta branch",
+        ["log2 Delta", "this paper", "FOCS'20", "ratio"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    table.print()
+    ratios = [row[3] for row in rows]
+    assert all(b > a for a, b in zip(ratios, ratios[1:]))  # grows
+    assert ratios[-1] >= 2.0  # clear separation at Delta = 2^64
+
+
+def test_corollary2_bounds(once):
+    def compute():
+        rows = []
+        for exponent in (16, 36, 64, 144, 400, 1024):
+            n = 2**exponent
+            rows.append(
+                (
+                    f"2^{exponent}",
+                    corollary2_delta_choice(n),
+                    corollary2_deterministic_bound(n),
+                    corollary2_randomized_bound(n),
+                )
+            )
+        return rows
+
+    rows = once(compute)
+    table = Table(
+        "Corollary 2 - balanced Delta ~ 2^sqrt(log n) and the resulting bounds",
+        ["n", "Delta choice", "det rounds (~sqrt(log n))", "rand rounds"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    table.print()
+    deterministic = [row[2] for row in rows]
+    assert all(b >= a for a, b in zip(deterministic, deterministic[1:]))
+    assert deterministic[-1] >= 4  # Omega(sqrt(log n)) kicks in
+
+
+def test_theorem1_k_dependence(once):
+    delta = 2**15
+    n = 10**100
+
+    def compute():
+        return [
+            (k, theorem1_deterministic_bound(n, delta, k),
+             theorem1_randomized_bound(n, delta, k))
+            for k in (0, 1, 8, 64, 512, 4096)
+        ]
+
+    rows = once(compute)
+    table = Table(
+        "Theorem 1 - k-outdegree relaxation: bound vs k (Delta = 2^15)",
+        ["k", "det bound", "rand bound"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    table.print()
+    bounds = [row[1] for row in rows]
+    assert all(b <= a for a, b in zip(bounds, bounds[1:]))

@@ -1,0 +1,61 @@
+"""VIEWS: indistinguishability on the hard instances.
+
+The engine-side Lemma 12/15 arguments rest on all nodes of the
+symmetric-port instances sharing one view; here that is measured
+directly: view-class counts per radius, on the Cayley instances versus
+ordinary trees (where classes refine as the radius grows).
+"""
+
+import random
+
+from repro.analysis.tables import Table
+from repro.sim.generators import (
+    colored_port_cayley_graph,
+    random_tree,
+    truncated_regular_tree,
+)
+from repro.sim.views import view_classes
+
+
+def test_cayley_blindness(once):
+    def compute():
+        rows = []
+        for delta in (2, 3, 4):
+            graph = colored_port_cayley_graph(delta)
+            for radius in (0, 1, 2):
+                rows.append((delta, graph.n, radius, len(view_classes(graph, radius))))
+        return rows
+
+    rows = once(compute)
+    table = Table(
+        "Symmetric-port Cayley instances - PN view classes per radius",
+        ["delta", "n", "radius", "view classes (1 = algorithm is blind)"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    table.print()
+    assert all(classes == 1 for *_, classes in rows)
+
+
+def test_trees_refine_with_radius(once):
+    def compute():
+        graph = random_tree(40, random.Random(3))
+        return [(radius, len(view_classes(graph, radius))) for radius in (0, 1, 2, 3)]
+
+    rows = once(compute)
+    table = Table(
+        "Random tree (n=40) - view classes refine with the radius",
+        ["radius", "view classes"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    table.print()
+    counts = [classes for _, classes in rows]
+    assert all(b >= a for a, b in zip(counts, counts[1:]))
+    assert counts[-1] > counts[0]
+
+
+def test_view_signature_timing(benchmark):
+    graph = truncated_regular_tree(3, 4)
+    signature = benchmark(lambda: view_classes(graph, 2))
+    assert len(signature) >= 2

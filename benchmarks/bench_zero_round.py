@@ -1,0 +1,84 @@
+"""LEM12/15: zero-round impossibility and the failure-probability bound.
+
+Deterministic side (Lemma 12): exhaustive 0-round checks across the
+(a, x) parameter grid, confirming impossibility exactly in the lemma's
+range (a >= 1, x <= Delta - 1) and possibility at the boundary.
+Randomized side (Lemma 15): the analytic 1/(3 Delta)^2 bound versus the
+failure rate of concrete strategies measured by Monte Carlo on the
+symmetric-port instances.
+"""
+
+from fractions import Fraction
+
+from repro.analysis.tables import Table
+from repro.core.solvability import (
+    randomized_zero_round_failure_bound,
+    zero_round_solvable_symmetric,
+)
+from repro.lowerbound.zero_round import (
+    GreedyStrategy,
+    UniformStrategy,
+    monte_carlo_zero_round_failure,
+)
+from repro.problems.family import family_problem
+
+
+def test_lemma12_parameter_grid(once):
+    def grid():
+        rows = []
+        for delta in (3, 4, 5, 6):
+            for a in range(delta + 1):
+                for x in range(delta + 1):
+                    solvable = zero_round_solvable_symmetric(
+                        family_problem(delta, a, x)
+                    )
+                    expected = not (a >= 1 and x <= delta - 1)
+                    rows.append((delta, a, x, solvable, expected))
+        return rows
+
+    rows = once(grid)
+    mismatches = [row for row in rows if row[3] != row[4]]
+    assert not mismatches, mismatches
+
+    table = Table(
+        "Lemma 12 - 0-round solvability of Pi_Delta(a, x), full grid",
+        ["delta", "grid points", "solvable exactly outside lemma range"],
+    )
+    for delta in (3, 4, 5, 6):
+        points = [row for row in rows if row[0] == delta]
+        table.add_row(delta, len(points), all(r[3] == r[4] for r in points))
+    table.print()
+
+
+def test_lemma15_monte_carlo(once):
+    def experiments():
+        rows = []
+        for delta in (3, 4):
+            problem = family_problem(delta, max(delta // 2, 1), 1)
+            bound = randomized_zero_round_failure_bound(problem)
+            uniform = monte_carlo_zero_round_failure(
+                problem, strategy=UniformStrategy(problem), trials=150, seed=7
+            )
+            greedy = monte_carlo_zero_round_failure(
+                problem, strategy=GreedyStrategy(problem), trials=150, seed=7
+            )
+            rows.append((delta, bound, uniform.failure_rate, greedy.failure_rate))
+        return rows
+
+    rows = once(experiments)
+    table = Table(
+        "Lemma 15 - analytic failure bound vs measured 0-round strategies",
+        ["delta", "bound 1/(3 Delta)^2", ">= 1/Delta^8", "uniform rate", "greedy rate"],
+    )
+    for delta, bound, uniform_rate, greedy_rate in rows:
+        table.add_row(
+            delta,
+            f"{float(bound):.4f}",
+            bound >= Fraction(1, delta**8),
+            uniform_rate,
+            greedy_rate,
+        )
+    table.print()
+    for delta, bound, uniform_rate, greedy_rate in rows:
+        assert uniform_rate >= float(bound)
+        assert greedy_rate >= float(bound)

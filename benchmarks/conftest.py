@@ -1,0 +1,26 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every benchmark regenerates one paper artifact (figure, lemma, or
+theorem-shaped table), asserts its shape, and prints the table so that
+``pytest benchmarks/ --benchmark-only -s`` reproduces the paper's
+evaluation narrative end to end.  Timing numbers come from
+pytest-benchmark; correctness assertions run on the timed results.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "bench: paper-artifact regeneration benchmarks"
+    )
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the timed callable exactly once (for heavy computations)."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+    return runner

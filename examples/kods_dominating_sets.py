@@ -1,0 +1,55 @@
+"""k-outdegree dominating sets: the upper bound meets Lemma 5.
+
+Run:  python examples/kods_dominating_sets.py [delta] [depth]
+
+Computes k-outdegree dominating sets on a truncated Delta-regular tree
+with the Section 1.1 group-sweep algorithm for a range of k, verifies
+each output, shows the ~Delta/(k+1) round scaling, and finally feeds
+the k-ODS into the Lemma 5 conversion to obtain a certified
+Pi_Delta(a, k) labeling.
+"""
+
+import sys
+
+from repro.algorithms.sweep import run_kods_sweep
+from repro.algorithms.trees import spread_tree_coloring
+from repro.analysis.tables import Table
+from repro.lowerbound.lemma5 import verify_lemma5
+from repro.sim.generators import truncated_regular_tree
+from repro.sim.verifiers import verify_k_outdegree_dominating_set
+
+
+def main() -> None:
+    delta = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    depth = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+    graph = truncated_regular_tree(delta, depth)
+    # A full (Delta+1)-coloring exposes the Delta/(k+1) sweep scaling
+    # (a 3-coloring would make every k >= 2 finish in one phase).
+    palette = delta + 1
+    coloring_colors = spread_tree_coloring(graph, palette)
+
+    table = Table(
+        f"k-outdegree dominating sets on the Delta={delta} regular tree "
+        f"(n = {graph.n}; sweeping a {palette}-coloring)",
+        ["k", "sweep rounds", "|S|", "valid k-ODS", "Pi(a, k) labeling valid"],
+    )
+    for k in range(0, delta + 1, max(delta // 4, 1)):
+        sweep = run_kods_sweep(graph, coloring_colors, palette, k)
+        kods_ok = verify_k_outdegree_dominating_set(
+            graph, sweep.selected, sweep.orientation, k
+        ).ok
+        lemma5 = verify_lemma5(
+            graph, sweep.selected, sweep.orientation, k, a=max(delta // 2, 1)
+        )
+        table.add_row(k, sweep.rounds, len(sweep.selected), kods_ok, lemma5.ok)
+    table.print()
+
+    print(
+        "Lower bound context (Theorem 1): for k <= Delta^eps these sets\n"
+        "need Omega(min{log Delta, log_Delta n}) rounds without the\n"
+        "rooting input this upper bound uses."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""The Omega(log Delta) lower-bound chain of Lemma 13, end to end.
+
+Run:  python examples/lowerbound_sequence.py [delta] [k]
+
+Builds the sequence Pi_i = Pi_Delta(floor(Delta / 2^(3i)), k + i),
+checks every side condition (Corollary 10, Lemma 11's direction, the
+0-round impossibility of Lemma 12), machine-verifies one speedup step
+with the round-elimination engine when Delta is small enough, then
+lifts the chain through Theorem 14 into the Theorem 1 / Corollary 2
+numbers.
+"""
+
+import sys
+
+from repro.analysis.tables import Table
+from repro.lowerbound.lemma6 import verify_lemma6
+from repro.lowerbound.lemma8 import verify_lemma8_argument
+from repro.lowerbound.lift import (
+    lower_bound_summary,
+    verify_theorem14_premises,
+)
+from repro.lowerbound.sequence import lemma13_chain, verify_chain_arithmetic
+
+
+def main() -> None:
+    delta = int(sys.argv[1]) if len(sys.argv) > 1 else 2**9
+    k = int(sys.argv[2]) if len(sys.argv) > 2 else 0
+
+    chain = lemma13_chain(delta, k)
+    print(f"Lemma 13 chain for Delta = {delta}, k = {k}:")
+    for step in chain:
+        print("  " + step.render())
+    print(f"chain length (certified PN rounds): {len(chain) - 1}")
+    print()
+
+    print("checking chain arithmetic (Cor. 10 + Lemma 11 + Lemma 12)...")
+    verify_chain_arithmetic(chain)
+    print("  ok")
+
+    sampled = [step for step in chain if step.x + 2 <= step.a <= 12]
+    if sampled:
+        step = sampled[0]
+        print(
+            f"machine-checking Lemma 6 and Lemma 8's argument at {step.render()}..."
+        )
+        verify_lemma6(min(step.delta, 6), min(step.a, 4), min(step.x, 1))
+        report = verify_lemma8_argument(
+            min(step.delta, 12), min(step.a, 9), min(step.x, 2)
+        )
+        print(f"  Lemma 8 case analysis: {'ok' if report.ok else 'FAILED'}")
+    print()
+
+    premises = verify_theorem14_premises(chain)
+    print(f"Theorem 14 premises hold: {premises.ok}")
+    print()
+
+    table = Table(
+        f"Theorem 1 lower bounds from this chain (Delta = {delta}, k = {k})",
+        ["n", "deterministic rounds", "randomized rounds"],
+    )
+    for exponent in (16, 32, 64, 128, 256):
+        summary = lower_bound_summary(2**exponent, delta, k)
+        table.add_row(
+            f"2^{exponent}",
+            summary["deterministic_rounds"],
+            summary["randomized_rounds"],
+        )
+    table.print()
+
+
+if __name__ == "__main__":
+    main()

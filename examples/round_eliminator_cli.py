@@ -1,0 +1,72 @@
+"""A tiny round-eliminator CLI, in the spirit of Olivetti's tool [36].
+
+Run:  python examples/round_eliminator_cli.py [steps]
+
+Reads a problem from stdin in the paper's condensed syntax — node
+configurations, a blank line, then edge configurations — and applies
+the requested number of Rbar(R(.)) speedup steps, printing the renamed
+problem and its diagrams after each.  Press Ctrl-D (EOF) after the edge
+constraint.  With no stdin input, demonstrates on sinkless orientation.
+
+Example input (MIS, Delta = 3):
+
+    M^3
+    P O^2
+
+    M [PO]
+    O O
+"""
+
+import sys
+
+from repro.core.diagram import edge_diagram, node_diagram
+from repro.core.problem import Problem
+from repro.core.round_elimination import speedup
+from repro.core.solvability import zero_round_solvable_pn
+from repro.problems.classic import sinkless_orientation_problem
+
+
+def read_problem_from_stdin() -> Problem | None:
+    if sys.stdin.isatty():
+        return None
+    text = sys.stdin.read()
+    if not text.strip():
+        return None
+    node_lines: list[str] = []
+    edge_lines: list[str] = []
+    current = node_lines
+    for line in text.splitlines():
+        if not line.strip():
+            if node_lines:
+                current = edge_lines
+            continue
+        current.append(line.strip())
+    return Problem.from_text(node_lines, edge_lines, name="stdin problem")
+
+
+def main() -> None:
+    steps = int(sys.argv[1]) if len(sys.argv) > 1 else 2
+    problem = read_problem_from_stdin()
+    if problem is None:
+        print("(no stdin input - demonstrating on sinkless orientation)")
+        problem = sinkless_orientation_problem(3)
+    for step_index in range(steps + 1):
+        print(f"=== step {step_index} ===")
+        print(problem.render())
+        print("edge diagram:")
+        print(edge_diagram(problem).render() or "  (no relations)")
+        print("node diagram:")
+        print(node_diagram(problem).render() or "  (no relations)")
+        print(
+            "0-round solvable (PN):",
+            zero_round_solvable_pn(problem),
+        )
+        print()
+        if step_index == steps:
+            break
+        problem = speedup(problem).problem
+        problem.name = f"step {step_index + 1}"
+
+
+if __name__ == "__main__":
+    main()

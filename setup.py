@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``.  This file exists so that
+``pip install -e . --no-use-pep517`` (the legacy editable path) works
+in offline environments that lack the ``wheel`` package required by
+PEP 660 editable builds.
+"""
+
+from setuptools import setup
+
+setup()

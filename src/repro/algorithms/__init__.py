@@ -1,0 +1,52 @@
+"""Distributed upper-bound algorithms (the other side of Theorem 1).
+
+Everything the paper's Section 1.1 sketches is implemented and runs on
+the simulator:
+
+* sequential baselines (:mod:`repro.algorithms.greedy`) used as oracles;
+* Luby's randomized MIS and a Ghaffari-style variant
+  (:mod:`repro.algorithms.luby`, :mod:`repro.algorithms.ghaffari`);
+* Cole-Vishkin 3-coloring of rooted trees and Linial-style color
+  reduction (:mod:`repro.algorithms.cole_vishkin`,
+  :mod:`repro.algorithms.color_reduction`);
+* color-class sweeps turning colorings into MIS and into k-outdegree
+  dominating sets in ~Delta/(k+1) phases
+  (:mod:`repro.algorithms.sweep`);
+* tree utilities (rooting, parent orientations)
+  (:mod:`repro.algorithms.trees`).
+"""
+
+from repro.algorithms.greedy import (
+    greedy_coloring,
+    greedy_dominating_set,
+    greedy_mis,
+)
+from repro.algorithms.luby import LubyMIS, run_luby_mis
+from repro.algorithms.ghaffari import GhaffariMIS, run_ghaffari_mis
+from repro.algorithms.cole_vishkin import ColeVishkinColoring, run_cole_vishkin
+from repro.algorithms.color_reduction import (
+    linial_palette_size,
+    run_linial_reduction,
+    run_slow_color_reduction,
+)
+from repro.algorithms.sweep import run_kods_sweep, run_mis_sweep
+from repro.algorithms.trees import parent_ports, root_tree
+
+__all__ = [
+    "greedy_coloring",
+    "greedy_dominating_set",
+    "greedy_mis",
+    "LubyMIS",
+    "run_luby_mis",
+    "GhaffariMIS",
+    "run_ghaffari_mis",
+    "ColeVishkinColoring",
+    "run_cole_vishkin",
+    "linial_palette_size",
+    "run_linial_reduction",
+    "run_slow_color_reduction",
+    "run_kods_sweep",
+    "run_mis_sweep",
+    "parent_ports",
+    "root_tree",
+]

@@ -1,0 +1,99 @@
+"""Cole-Vishkin 3-coloring of rooted trees in O(log* n) rounds.
+
+The classic deterministic symmetry-breaking algorithm: starting from
+the unique identifiers (an n-coloring), each step replaces a node's
+color by (index, bit) of the lowest bit where it differs from its
+parent's color, shrinking the palette from m to 2 * ceil(log2 m); after
+O(log* n) steps the palette is {0..5}, and three shift-down/recolor
+steps remove colors 5, 4, 3.  Every node knows its parent port as
+input (the rooted-tree setting of [7, 33]); ids require the LOCAL
+model.
+
+The round count is exactly ``cv_iterations(n) + 6``, which the
+benchmarks compare against log*(n).
+"""
+
+from __future__ import annotations
+
+from repro.sim.graph import Graph
+from repro.sim.runtime import Algorithm, RunResult, run
+from repro.algorithms.trees import parent_ports
+
+
+def cv_iterations(n: int) -> int:
+    """Number of color-reduction steps until the palette is {0..5}."""
+    palette = max(n, 2)
+    count = 0
+    while palette > 6:
+        bits = (palette - 1).bit_length()
+        palette = 2 * bits
+        count += 1
+    return count
+
+
+class ColeVishkinColoring(Algorithm):
+    """The full pipeline: CV reduction, then 6 -> 3 shift-down steps.
+
+    Input: the node's parent port (``None`` at the root).  Output: a
+    color in {0, 1, 2}.
+    """
+
+    def init(self, view) -> None:
+        super().init(view)
+        self.parent_port = view.input
+        self.color = view.id  # initial n-coloring from identifiers
+        self.schedule = ["cv"] * cv_iterations(view.n)
+        for target in (5, 4, 3):
+            self.schedule.extend(["shift", ("recolor", target)])
+        self.step_index = 0
+        if not self.schedule:
+            self.schedule = []
+        if view.n == 1:
+            self.color = 0
+            self.halted = True
+
+    def send(self):
+        return {port: self.color for port in range(self.view.degree)}
+
+    def receive(self, messages) -> bool:
+        step = self.schedule[self.step_index]
+        parent_color = (
+            messages.get(self.parent_port) if self.parent_port is not None else None
+        )
+        child_colors = [
+            color for port, color in messages.items() if port != self.parent_port
+        ]
+        if step == "cv":
+            self.color = _cv_step(self.color, parent_color)
+        elif step == "shift":
+            if parent_color is not None:
+                self.color = parent_color
+            else:
+                self.color = (self.color + 1) % 6
+        else:
+            _, target = step
+            if self.color == target:
+                taken = set(child_colors)
+                if parent_color is not None:
+                    taken.add(parent_color)
+                self.color = min(c for c in (0, 1, 2) if c not in taken)
+        self.step_index += 1
+        return self.step_index == len(self.schedule)
+
+    def output(self) -> int:
+        return self.color
+
+
+def _cv_step(color: int, parent_color: int | None) -> int:
+    """One Cole-Vishkin reduction: (lowest differing bit index, bit)."""
+    other = parent_color if parent_color is not None else color ^ 1
+    difference = color ^ other
+    index = (difference & -difference).bit_length() - 1
+    bit = (color >> index) & 1
+    return 2 * index + bit
+
+
+def run_cole_vishkin(graph: Graph, root: int = 0) -> RunResult:
+    """Root the tree, hand out parent ports, and run the pipeline."""
+    inputs = parent_ports(graph, root)
+    return run(graph, ColeVishkinColoring, model="LOCAL", inputs=inputs)

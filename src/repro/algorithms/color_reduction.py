@@ -1,0 +1,192 @@
+"""Linial-style color reduction and the slow one-color-per-round cleanup.
+
+One *Linial step* [33] reduces a proper m-coloring to a proper
+q^2-coloring in a single round, where q is the smallest prime with
+``q >= d * Delta + 1`` and ``q^(d+1) >= m`` for the chosen degree d:
+each color is encoded as a degree-<=d polynomial over F_q, and a node
+picks an evaluation point where its polynomial differs from all
+neighbors' polynomials (possible because two distinct degree-d
+polynomials agree on at most d points and there are at most Delta
+neighbors).  Iterating O(log* m) times lands at a palette of size
+O(Delta^2 log Delta); the *slow reduction* then removes one color per
+round down to Delta + 1.
+
+Together with the identifiers as the initial poly(n)-coloring this
+gives the deterministic O(Delta^2 + log* n)-ish coloring pipeline that
+the sweep algorithms consume (a simplified stand-in for [10]'s
+O(Delta + log* n), as recorded in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.sim.graph import Graph
+from repro.sim.runtime import Algorithm, RunResult, run
+
+
+def _is_prime(value: int) -> bool:
+    if value < 2:
+        return False
+    for divisor in range(2, int(math.isqrt(value)) + 1):
+        if value % divisor == 0:
+            return False
+    return True
+
+
+def _next_prime(value: int) -> int:
+    candidate = max(value, 2)
+    while not _is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+def linial_parameters(m: int, delta: int) -> tuple[int, int]:
+    """The (q, d) minimizing the new palette q^2 for one Linial step."""
+    best: tuple[int, int] | None = None
+    for degree in range(1, max(2, m.bit_length())):
+        q = _next_prime(degree * delta + 1)
+        while q ** (degree + 1) < m:
+            q = _next_prime(q + 1)
+        if best is None or q < best[0]:
+            best = (q, degree)
+    assert best is not None
+    return best
+
+
+def linial_palette_size(m: int, delta: int) -> int:
+    """Palette size after one Linial step from an m-coloring."""
+    q, _ = linial_parameters(m, delta)
+    return q * q
+
+
+def _encode_polynomial(color: int, q: int, degree: int) -> tuple[int, ...]:
+    """The color written in base q as d+1 coefficients."""
+    coefficients = []
+    value = color
+    for _ in range(degree + 1):
+        coefficients.append(value % q)
+        value //= q
+    return tuple(coefficients)
+
+
+def _evaluate(coefficients: tuple[int, ...], point: int, q: int) -> int:
+    result = 0
+    for coefficient in reversed(coefficients):
+        result = (result * point + coefficient) % q
+    return result
+
+
+def linial_step_color(color: int, neighbor_colors: list[int], m: int, delta: int) -> int:
+    """The new color of one node after a single Linial step."""
+    q, degree = linial_parameters(m, delta)
+    own = _encode_polynomial(color, q, degree)
+    neighbors = [_encode_polynomial(other, q, degree) for other in neighbor_colors]
+    for point in range(q):
+        own_value = _evaluate(own, point, q)
+        if all(
+            other == own or _evaluate(other, point, q) != own_value
+            for other in neighbors
+        ):
+            return point * q + own_value
+    raise AssertionError(
+        "no evaluation point found - parameters violate q > d * Delta"
+    )
+
+
+def reduction_schedule(m: int, delta: int) -> list[int]:
+    """Palette sizes visited by iterated Linial steps (fixed point last)."""
+    sizes = [m]
+    while True:
+        new_size = linial_palette_size(sizes[-1], delta)
+        if new_size >= sizes[-1]:
+            break
+        sizes.append(new_size)
+    return sizes
+
+
+class LinialReduction(Algorithm):
+    """Iterated Linial steps from the id coloring, LOCAL model."""
+
+    def init(self, view) -> None:
+        super().init(view)
+        self.delta = view.delta
+        self.color = view.id
+        self.sizes = reduction_schedule(max(view.n, 2), max(view.delta, 1))
+        self.step_index = 0
+        if len(self.sizes) == 1:
+            self.halted = True
+
+    def send(self):
+        return {port: self.color for port in range(self.view.degree)}
+
+    def receive(self, messages) -> bool:
+        m = self.sizes[self.step_index]
+        self.color = linial_step_color(
+            self.color, list(messages.values()), m, max(self.delta, 1)
+        )
+        self.step_index += 1
+        return self.step_index == len(self.sizes) - 1
+
+    def output(self) -> int:
+        return self.color
+
+
+def run_linial_reduction(graph: Graph) -> RunResult:
+    """Reduce the id coloring to the Linial fixed-point palette."""
+    return run(graph, LinialReduction, model="LOCAL")
+
+
+class SlowColorReduction(Algorithm):
+    """Remove one color per round: from m colors down to Delta + 1.
+
+    Input: the node's current color (from a previous stage) and the
+    palette size m, as the tuple ``(color, m)``.  In round i the nodes
+    of color ``m - 1 - i`` re-pick the smallest color unused in their
+    neighborhood (< Delta + 1 by counting); they form an independent
+    set, so simultaneous re-picks are safe.
+    """
+
+    def init(self, view) -> None:
+        super().init(view)
+        self.color, self.palette = view.input
+        self.target = view.delta + 1
+        self.rounds_needed = max(self.palette - self.target, 0)
+        self.round_index = 0
+        if self.rounds_needed == 0:
+            self.halted = True
+
+    def send(self):
+        return {port: self.color for port in range(self.view.degree)}
+
+    def receive(self, messages) -> bool:
+        retiring = self.palette - 1 - self.round_index
+        if self.color == retiring:
+            taken = set(messages.values())
+            self.color = min(
+                c for c in range(self.target) if c not in taken
+            )
+        self.round_index += 1
+        return self.round_index == self.rounds_needed
+
+    def output(self) -> int:
+        return self.color
+
+
+def run_slow_color_reduction(
+    graph: Graph, colors: list[int], palette: int
+) -> RunResult:
+    """Reduce a proper ``palette``-coloring to Delta + 1 colors."""
+    inputs = [(colors[node], palette) for node in range(graph.n)]
+    return run(graph, SlowColorReduction, model="PN", inputs=inputs)
+
+
+def run_full_coloring_pipeline(graph: Graph) -> tuple[list[int], int]:
+    """Linial reduction then slow reduction: a (Delta+1)-coloring.
+
+    Returns ``(colors, rounds_used)``.
+    """
+    linial = run_linial_reduction(graph)
+    palette = reduction_schedule(max(graph.n, 2), max(graph.max_degree(), 1))[-1]
+    slow = run_slow_color_reduction(graph, linial.outputs, palette)
+    return slow.outputs, linial.rounds + slow.rounds

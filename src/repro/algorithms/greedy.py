@@ -1,0 +1,51 @@
+"""Sequential (centralized) baselines.
+
+These are correctness oracles and size baselines for the distributed
+algorithms, not contenders: a sequential sweep sees the whole graph.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.sim.graph import Graph
+
+
+def greedy_mis(graph: Graph, order: Sequence[int] | None = None) -> set[int]:
+    """The lexicographically-first MIS along ``order`` (default: by id)."""
+    ordering = list(order) if order is not None else range(graph.n)
+    selected: set[int] = set()
+    for node in ordering:
+        if all(neighbor not in selected for neighbor in graph.neighbors(node)):
+            selected.add(node)
+    return selected
+
+
+def greedy_coloring(graph: Graph, order: Sequence[int] | None = None) -> list[int]:
+    """First-free greedy coloring: at most Delta + 1 colors."""
+    ordering = list(order) if order is not None else range(graph.n)
+    colors = [-1] * graph.n
+    for node in ordering:
+        taken = {colors[neighbor] for neighbor in graph.neighbors(node)}
+        color = 0
+        while color in taken:
+            color += 1
+        colors[node] = color
+    return colors
+
+
+def greedy_dominating_set(graph: Graph) -> set[int]:
+    """A simple greedy dominating set: repeatedly take the node covering
+    the most currently-uncovered nodes (the classic ln-n approximation)."""
+    uncovered = set(range(graph.n))
+    selected: set[int] = set()
+    while uncovered:
+        best = max(
+            range(graph.n),
+            key=lambda node: len(
+                ({node} | set(graph.neighbors(node))) & uncovered
+            ),
+        )
+        selected.add(best)
+        uncovered -= {best} | set(graph.neighbors(best))
+    return selected

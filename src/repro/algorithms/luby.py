@@ -1,0 +1,70 @@
+"""Luby's randomized MIS algorithm [34] (also Alon-Babai-Itai [1]).
+
+Per phase (two communication rounds here): every undecided node draws a
+random priority; a node whose priority strictly beats all undecided
+neighbors joins the MIS, and its neighbors drop out.  With high
+probability all nodes decide within O(log n) phases.
+
+This is the permutation variant (random reals as priorities), which is
+the cleanest to implement exactly; ties are broken by redrawing — with
+64-bit randomness they essentially never occur.
+"""
+
+from __future__ import annotations
+
+from repro.sim.graph import Graph
+from repro.sim.runtime import Algorithm, RunResult, run
+
+
+class LubyMIS(Algorithm):
+    """Message-passing implementation of Luby's algorithm.
+
+    Output is ``True`` for MIS members.  Each phase costs two rounds:
+    one to exchange priorities, one to announce joins.
+    """
+
+    def init(self, view) -> None:
+        super().init(view)
+        self.state = "active"     # active | in | out
+        self.phase = "priority"   # priority | announce
+        self.priority = None
+        self.active_ports = set(range(view.degree))
+
+    def send(self):
+        if self.phase == "priority":
+            self.priority = self.view.rng.random()
+            return {port: ("priority", self.priority) for port in self.active_ports}
+        joined = self.state == "in"
+        return {port: ("announce", joined) for port in self.active_ports}
+
+    def receive(self, messages) -> bool:
+        if self.phase == "priority":
+            neighbor_priorities = [
+                value for kind, value in messages.values() if kind == "priority"
+            ]
+            if all(self.priority > other for other in neighbor_priorities):
+                self.state = "in"
+            self.phase = "announce"
+            return False
+        # Announce phase: learn joins, retire ports of decided neighbors.
+        for port, (kind, joined) in messages.items():
+            if joined and self.state == "active":
+                self.state = "out"
+        # Neighbors that decided (joined or heard a join) stop sending;
+        # track which ports are still active by who messaged this phase.
+        self.active_ports = {
+            port for port in self.active_ports if port in messages
+        }
+        done = self.state != "active"
+        if done:
+            return True
+        self.phase = "priority"
+        return False
+
+    def output(self) -> bool:
+        return self.state == "in"
+
+
+def run_luby_mis(graph: Graph, seed: int = 0, max_rounds: int = 10_000) -> RunResult:
+    """Run Luby's MIS on ``graph``; outputs are per-node booleans."""
+    return run(graph, LubyMIS, model="PN", seed=seed, max_rounds=max_rounds)

@@ -1,0 +1,103 @@
+"""Color-class sweeps: from colorings to MIS and k-outdegree
+dominating sets (the Section 1.1 upper-bound recipe).
+
+Given a proper c-coloring, iterating over color classes and greedily
+adding un-dominated nodes yields an MIS in c rounds.  Processing
+*groups* of k+1 consecutive color classes at once yields a dominating
+set whose induced edges connect only same-group nodes; on trees,
+orienting them toward the parent bounds the outdegree by 1 <= k, so the
+sweep computes a k-outdegree dominating set in ceil(c / (k+1)) rounds —
+the Delta/k round scaling of the paper's upper-bound discussion, with
+the rooting supplied as input (see DESIGN.md on this substitution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.trees import orient_toward_parent
+from repro.sim.graph import Graph
+from repro.sim.runtime import Algorithm, RunResult, run
+
+
+class GroupSweep(Algorithm):
+    """Join the set in your group's round unless already dominated.
+
+    Input: ``(group_index, group_count)``.  Output: bool (selected).
+    """
+
+    def init(self, view) -> None:
+        super().init(view)
+        self.group, self.group_count = view.input
+        self.joined = False
+        self.blocked = False
+        self.round_index = 0
+        if self.group_count == 0:
+            self.halted = True
+
+    def send(self):
+        return {port: self.joined for port in range(self.view.degree)}
+
+    def receive(self, messages) -> bool:
+        # Messages carry neighbor decisions as of the previous rounds.
+        if any(messages.values()):
+            self.blocked = True
+        if self.group == self.round_index and not self.blocked:
+            self.joined = True
+        self.round_index += 1
+        return self.round_index >= self.group_count
+
+    def output(self) -> bool:
+        return self.joined
+
+
+def run_mis_sweep(graph: Graph, colors: list[int], palette: int) -> RunResult:
+    """MIS by sweeping single color classes (group size 1)."""
+    inputs = [(colors[node], palette) for node in range(graph.n)]
+    return run(graph, GroupSweep, model="PN", inputs=inputs)
+
+
+@dataclass
+class KodsSweepResult:
+    """Outcome of the k-outdegree dominating-set sweep."""
+
+    selected: set[int]
+    orientation: dict[int, int]
+    rounds: int
+    groups: int
+
+
+def run_kods_sweep(
+    graph: Graph,
+    colors: list[int],
+    palette: int,
+    k: int,
+    root: int = 0,
+) -> KodsSweepResult:
+    """The Section 1.1 sweep: groups of k+1 colors, parent orientation.
+
+    For ``k = 0`` this is exactly the MIS sweep.  For ``k >= 1`` the
+    graph must be a tree (the rooting orients the induced edges).
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    group_size = k + 1
+    group_count = (palette + group_size - 1) // group_size
+    inputs = [(colors[node] // group_size, group_count) for node in range(graph.n)]
+    result = run(graph, GroupSweep, model="PN", inputs=inputs)
+    selected = {node for node in range(graph.n) if result.outputs[node]}
+    if k == 0:
+        orientation: dict[int, int] = {}
+    else:
+        parent_orientation = orient_toward_parent(graph, root)
+        orientation = {
+            edge_id: parent_orientation[edge_id]
+            for edge_id, u, v in graph.edges()
+            if u in selected and v in selected
+        }
+    return KodsSweepResult(
+        selected=selected,
+        orientation=orientation,
+        rounds=result.rounds,
+        groups=group_count,
+    )

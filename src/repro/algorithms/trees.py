@@ -1,0 +1,105 @@
+"""Tree utilities: rooting and parent-pointer inputs.
+
+Several upper-bound algorithms (Cole-Vishkin, the sweep orientations)
+operate on *rooted* trees: each node knows the port leading to its
+parent.  Distributively, such an orientation is itself an input (the
+classic setting for Cole-Vishkin); these helpers compute it centrally
+and hand it to the simulator as per-node input, which is recorded as a
+deliberate substitution in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from repro.sim.graph import Graph
+
+
+def root_tree(graph: Graph, root: int = 0) -> list[int | None]:
+    """Parent of every node in the tree rooted at ``root`` (None there)."""
+    if not graph.is_tree():
+        raise ValueError("root_tree needs a tree")
+    parent: list[int | None] = [None] * graph.n
+    seen = {root}
+    queue = [root]
+    while queue:
+        node = queue.pop()
+        for neighbor in graph.neighbors(node):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                parent[neighbor] = node
+                queue.append(neighbor)
+    return parent
+
+
+def parent_ports(graph: Graph, root: int = 0) -> list[int | None]:
+    """Port leading to the parent, per node (None at the root)."""
+    parent = root_tree(graph, root)
+    return [
+        graph.port_to(node, parent[node]) if parent[node] is not None else None
+        for node in range(graph.n)
+    ]
+
+
+def orient_toward_parent(graph: Graph, root: int = 0) -> dict[int, int]:
+    """Every tree edge oriented child -> parent (head = parent).
+
+    The resulting orientation has outdegree exactly 1 at non-roots and
+    0 at the root — the reason trees make k-outdegree constraints easy
+    once a rooting is available (see DESIGN.md).
+    """
+    parent = root_tree(graph, root)
+    orientation: dict[int, int] = {}
+    for edge_id, u, v in graph.edges():
+        orientation[edge_id] = u if parent[v] == u else v
+    return orientation
+
+
+def spread_tree_coloring(graph: Graph, palette: int, root: int = 0) -> list[int]:
+    """A proper coloring of a tree using the whole ``palette``.
+
+    Children of each node take round-robin colors skipping the parent's
+    color, so for ``palette >= Delta`` the coloring is proper *and*
+    spreads across all colors — unlike greedy-by-id, which 2-colors any
+    tree and hides the Delta/(k+1) scaling of the sweep experiments.
+    """
+    if palette < max(graph.max_degree(), 2):
+        raise ValueError(
+            f"palette {palette} too small for max degree {graph.max_degree()}"
+        )
+    if not graph.is_tree():
+        raise ValueError("spread_tree_coloring needs a tree")
+    colors = [-1] * graph.n
+    colors[root] = 0
+    queue = [root]
+    seen = {root}
+    while queue:
+        node = queue.pop()
+        next_color = (colors[node] + 1) % palette
+        for neighbor in graph.neighbors(node):
+            if neighbor in seen:
+                continue
+            if next_color == colors[node]:
+                next_color = (next_color + 1) % palette
+            colors[neighbor] = next_color
+            next_color = (next_color + 1) % palette
+            seen.add(neighbor)
+            queue.append(neighbor)
+    return colors
+
+
+def depths(graph: Graph, root: int = 0) -> list[int]:
+    """Distance from the root, per node."""
+    parent = root_tree(graph, root)
+    depth = [0] * graph.n
+    order = sorted(range(graph.n), key=lambda node: _depth_of(parent, node))
+    for node in order:
+        if parent[node] is not None:
+            depth[node] = depth[parent[node]] + 1
+    return depth
+
+
+def _depth_of(parent: list[int | None], node: int) -> int:
+    count = 0
+    while parent[node] is not None:
+        node = parent[node]
+        count += 1
+    return count

@@ -1,0 +1,74 @@
+"""Minimal fixed-width table rendering for benchmark output.
+
+The benchmark harness prints paper-shaped tables (bound comparisons,
+chain lengths, round counts); this helper keeps their formatting in one
+place and dependency-free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+class Table:
+    """A fixed-width text table with a title and typed cells."""
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells) -> None:
+        """Append a row; cells are formatted (floats to 2 decimals)."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([_format(cell) for cell in cells])
+
+    def render(self) -> str:
+        """The table as aligned text."""
+        widths = [len(column) for column in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title]
+        header = "  ".join(
+            column.ljust(widths[index]) for index, column in enumerate(self.columns)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Print the rendered table, framed by blank lines."""
+        print()
+        print(self.render())
+        print()
+
+
+def _format(cell) -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def series(values: Iterable[float], width: int = 40) -> str:
+    """A one-line ASCII sparkline for quick shape checks in benchmarks."""
+    values = list(values)
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    span = (high - low) or 1.0
+    glyphs = " .:-=+*#%@"
+    return "".join(
+        glyphs[min(int((value - low) / span * (len(glyphs) - 1)), len(glyphs) - 1)]
+        for value in values
+    )

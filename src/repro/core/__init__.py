@@ -1,0 +1,66 @@
+"""Core round-elimination machinery.
+
+This package implements the formal framework of Section 2 of the paper:
+labels and configurations, node/edge constraints, locally checkable
+problems as (Sigma, N, E) triples, label-strength diagrams, right-closed
+sets, the round-elimination operators R and R-bar (Brandt, PODC 2019),
+relaxations between configurations, and zero-round solvability tests.
+"""
+
+from repro.core.labels import Alphabet, LabelSet, render_label, render_label_set
+from repro.core.configurations import (
+    CondensedConfiguration,
+    Configuration,
+    Disjunction,
+    parse_condensed,
+)
+from repro.core.constraints import Constraint
+from repro.core.problem import Problem
+from repro.core.diagram import Diagram, right_closed_sets
+from repro.core.round_elimination import (
+    SpeedupResult,
+    maximize_edge_constraint,
+    maximize_node_constraint,
+    rename_to_strings,
+    speedup,
+    R,
+    Rbar,
+)
+from repro.core.relaxation import (
+    can_relax,
+    find_label_relabeling,
+    find_upgrade_reduction,
+)
+from repro.core.solvability import (
+    randomized_zero_round_failure_bound,
+    zero_round_solvable_pn,
+    zero_round_solvable_symmetric,
+)
+
+__all__ = [
+    "Alphabet",
+    "LabelSet",
+    "render_label",
+    "render_label_set",
+    "Configuration",
+    "CondensedConfiguration",
+    "Disjunction",
+    "parse_condensed",
+    "Constraint",
+    "Problem",
+    "Diagram",
+    "right_closed_sets",
+    "SpeedupResult",
+    "maximize_edge_constraint",
+    "maximize_node_constraint",
+    "rename_to_strings",
+    "speedup",
+    "R",
+    "Rbar",
+    "can_relax",
+    "find_label_relabeling",
+    "find_upgrade_reduction",
+    "randomized_zero_round_failure_bound",
+    "zero_round_solvable_pn",
+    "zero_round_solvable_symmetric",
+]

@@ -1,0 +1,106 @@
+"""Problem serialization: text (round-eliminator style) and JSON.
+
+The text format mirrors the paper's listings and the round-eliminator
+tool's input: node configurations one per line, a blank line, then edge
+configurations.  Multi-character labels are parenthesized.  JSON keeps
+the structure explicit for tooling.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.configurations import Configuration
+from repro.core.labels import render_label
+from repro.core.problem import Problem
+
+
+def problem_to_text(problem: Problem) -> str:
+    """Serialize as node lines, a blank line, and edge lines."""
+    lines = [configuration.render() for configuration in problem.node_constraint]
+    lines.append("")
+    lines.extend(configuration.render() for configuration in problem.edge_constraint)
+    return "\n".join(lines)
+
+
+def problem_from_text(text: str, name: str = "") -> Problem:
+    """Parse the text format back into a problem.
+
+    The first blank line separates node from edge configurations; only
+    string labels round-trip (set labels should be renamed first with
+    :func:`repro.core.round_elimination.rename_to_strings`).
+    """
+    node_lines: list[str] = []
+    edge_lines: list[str] = []
+    current = node_lines
+    seen_blank = False
+    for line in text.splitlines():
+        if not line.strip():
+            if node_lines and not seen_blank:
+                current = edge_lines
+                seen_blank = True
+            continue
+        current.append(line.strip())
+    if not node_lines or not edge_lines:
+        raise ValueError("expected node lines, a blank line, then edge lines")
+    return Problem.from_text(node_lines, edge_lines, name=name)
+
+
+def problem_to_json(problem: Problem) -> str:
+    """Serialize as JSON with explicit label lists per configuration."""
+    def config_labels(configuration: Configuration) -> list[str]:
+        return [str(label) for label in configuration.items]
+
+    payload = {
+        "name": problem.name,
+        "delta": problem.delta,
+        "alphabet": [str(label) for label in problem.alphabet],
+        "node_constraint": sorted(
+            config_labels(c) for c in problem.node_constraint.configurations
+        ),
+        "edge_constraint": sorted(
+            config_labels(c) for c in problem.edge_constraint.configurations
+        ),
+    }
+    return json.dumps(payload, indent=2)
+
+
+def problem_from_json(text: str) -> Problem:
+    """Parse the JSON format back into a problem."""
+    payload = json.loads(text)
+    from repro.core.constraints import Constraint
+
+    node_constraint = Constraint(
+        Configuration(labels) for labels in payload["node_constraint"]
+    )
+    edge_constraint = Constraint(
+        Configuration(labels) for labels in payload["edge_constraint"]
+    )
+    return Problem(
+        payload["alphabet"],
+        node_constraint,
+        edge_constraint,
+        name=payload.get("name", ""),
+    )
+
+
+def roundtrip_safe(problem: Problem) -> bool:
+    """Whether the problem survives a text round trip unchanged.
+
+    True exactly when all labels are strings whose rendering parses
+    back (single characters or parenthesizable names).
+    """
+    try:
+        return problem_from_text(problem_to_text(problem)) == problem
+    except ValueError:
+        return False
+
+
+__all__ = [
+    "problem_to_text",
+    "problem_from_text",
+    "problem_to_json",
+    "problem_from_json",
+    "roundtrip_safe",
+    "render_label",
+]

@@ -1,0 +1,130 @@
+"""Labels and alphabets for the round-elimination framework.
+
+A *label* is any hashable value.  Problems written by hand use plain
+strings (``"M"``, ``"P"``, ...).  Problems produced by the round
+elimination operators :func:`repro.core.round_elimination.R` and
+:func:`repro.core.round_elimination.Rbar` use ``frozenset`` labels (sets
+of labels of the previous problem, exactly as in the paper's Section
+2.3); :func:`repro.core.round_elimination.rename_to_strings` maps them
+back to compact string labels, mirroring the renaming steps of Lemma 6
+and Lemma 8.
+"""
+
+from __future__ import annotations
+
+import string
+from collections.abc import Hashable, Iterable
+
+#: A label as produced by one application of R / R-bar: a set of labels
+#: of the previous problem.
+LabelSet = frozenset
+
+#: Pool of single-character names used when auto-renaming set labels.
+DEFAULT_NAME_POOL = tuple(string.ascii_uppercase + string.ascii_lowercase)
+
+
+def render_label(label: Hashable) -> str:
+    """Render a single label for display.
+
+    String labels render as themselves, with parentheses added around
+    multi-character names so that rendered configurations can be parsed
+    back unambiguously.  ``frozenset`` labels render as the sorted
+    concatenation of their members in angle brackets, e.g.
+    ``<MOX>`` for ``frozenset({"M", "O", "X"})``.
+    """
+    if isinstance(label, frozenset):
+        return "<" + "".join(sorted(render_label(member) for member in label)) + ">"
+    text = str(label)
+    if len(text) == 1:
+        return text
+    return "(" + text + ")"
+
+
+def render_label_set(labels: Iterable[Hashable]) -> str:
+    """Render a collection of labels as a sorted, bracketed disjunction."""
+    rendered = sorted(render_label(label) for label in labels)
+    return "[" + "".join(rendered) + "]"
+
+
+class Alphabet:
+    """An ordered collection of distinct labels.
+
+    The order is the insertion order; it only affects rendering and
+    iteration, never semantics.  Alphabets are immutable.
+    """
+
+    __slots__ = ("_labels", "_index")
+
+    def __init__(self, labels: Iterable[Hashable]):
+        seen: dict[Hashable, int] = {}
+        ordered: list[Hashable] = []
+        for label in labels:
+            if label in seen:
+                raise ValueError(f"duplicate label {label!r} in alphabet")
+            seen[label] = len(ordered)
+            ordered.append(label)
+        self._labels: tuple[Hashable, ...] = tuple(ordered)
+        self._index: dict[Hashable, int] = seen
+
+    def __iter__(self):
+        return iter(self._labels)
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, label: Hashable) -> bool:
+        return label in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Alphabet):
+            return NotImplemented
+        return set(self._labels) == set(other._labels)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._labels))
+
+    def __repr__(self) -> str:
+        return "Alphabet(" + ", ".join(render_label(label) for label in self._labels) + ")"
+
+    @property
+    def labels(self) -> tuple[Hashable, ...]:
+        """The labels in insertion order."""
+        return self._labels
+
+    def index(self, label: Hashable) -> int:
+        """Position of ``label`` in the alphabet (insertion order)."""
+        return self._index[label]
+
+    def sort_key(self, label: Hashable):
+        """A key sorting labels by alphabet order; unknown labels last."""
+        return (self._index.get(label, len(self._labels)), render_label(label))
+
+    def union(self, other: "Alphabet") -> "Alphabet":
+        """Alphabet containing the labels of both operands."""
+        merged = list(self._labels)
+        merged.extend(label for label in other if label not in self._index)
+        return Alphabet(merged)
+
+
+def fresh_names(count: int, taken: Iterable[str] = ()) -> list[str]:
+    """Return ``count`` short string names not colliding with ``taken``.
+
+    Single characters are preferred; once the pool is exhausted the
+    names continue as ``L0``, ``L1``, ...
+    """
+    taken_set = set(taken)
+    names: list[str] = []
+    for candidate in DEFAULT_NAME_POOL:
+        if len(names) == count:
+            return names
+        if candidate not in taken_set:
+            names.append(candidate)
+            taken_set.add(candidate)
+    counter = 0
+    while len(names) < count:
+        candidate = f"L{counter}"
+        if candidate not in taken_set:
+            names.append(candidate)
+            taken_set.add(candidate)
+        counter += 1
+    return names

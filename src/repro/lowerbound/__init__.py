@@ -1,0 +1,79 @@
+"""The paper's proof pipeline, lemma by lemma, machine-checked.
+
+Each module implements one ingredient of Section 3/4 and exposes a
+``verify_*`` entry point that mechanically checks the lemma's claim —
+by direct computation of the round-elimination operators where
+feasible, and by executing the paper's own combinatorial argument as a
+checker where the direct computation would be exponential in Delta.
+
+* :mod:`repro.lowerbound.lemma5` — k-outdegree dominating set gives
+  Pi_Delta(a, k) in one round.
+* :mod:`repro.lowerbound.lemma6` — the normal form of
+  R(Pi_Delta(a, x)) and its renaming.
+* :mod:`repro.lowerbound.lemma8` — every node configuration of
+  Rbar(R(Pi_Delta(a, x))) relaxes into Pi_rel; Pi+ is one round easier.
+* :mod:`repro.lowerbound.lemma9` — the Delta-edge-coloring trick:
+  a 0-round conversion of Pi+(a, x) solutions into
+  Pi(floor((a-2x-1)/2), x+1) solutions.
+* :mod:`repro.lowerbound.lemma11` — monotonicity in (a, x).
+* :mod:`repro.lowerbound.zero_round` — Lemmas 12 and 15 plus
+  Monte-Carlo experiments on the symmetric-port instances.
+* :mod:`repro.lowerbound.sequence` — Lemma 13: the Omega(log Delta)
+  lower-bound chain.
+* :mod:`repro.lowerbound.lift` — Theorem 14 premises, Theorem 1 and
+  Corollary 2 bound functions.
+"""
+
+from repro.lowerbound.lemma5 import labeling_from_kods, verify_lemma5
+from repro.lowerbound.lemma6 import (
+    LEMMA6_RENAMING,
+    compute_r_of_family,
+    expected_r_of_family,
+    verify_lemma6,
+)
+from repro.lowerbound.lemma8 import (
+    verify_lemma8_argument,
+    verify_lemma8_direct,
+)
+from repro.lowerbound.lemma9 import convert_plus_solution, verify_lemma9
+from repro.lowerbound.lemma11 import convert_labeling_lemma11, verify_lemma11
+from repro.lowerbound.sequence import ChainStep, lemma13_chain, sequence_length
+from repro.lowerbound.lift import (
+    corollary2_deterministic_bound,
+    corollary2_randomized_bound,
+    theorem1_deterministic_bound,
+    theorem1_randomized_bound,
+    verify_theorem14_premises,
+)
+from repro.lowerbound.zero_round import (
+    UniformStrategy,
+    monte_carlo_zero_round_failure,
+)
+from repro.lowerbound.certificate import LowerBoundCertificate, build_certificate
+
+__all__ = [
+    "labeling_from_kods",
+    "verify_lemma5",
+    "LEMMA6_RENAMING",
+    "compute_r_of_family",
+    "expected_r_of_family",
+    "verify_lemma6",
+    "verify_lemma8_argument",
+    "verify_lemma8_direct",
+    "convert_plus_solution",
+    "verify_lemma9",
+    "convert_labeling_lemma11",
+    "verify_lemma11",
+    "ChainStep",
+    "lemma13_chain",
+    "sequence_length",
+    "corollary2_deterministic_bound",
+    "corollary2_randomized_bound",
+    "theorem1_deterministic_bound",
+    "theorem1_randomized_bound",
+    "verify_theorem14_premises",
+    "UniformStrategy",
+    "monte_carlo_zero_round_failure",
+    "LowerBoundCertificate",
+    "build_certificate",
+]

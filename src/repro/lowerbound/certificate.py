@@ -1,0 +1,163 @@
+"""The Section 2.4 roadmap as one machine-checked certificate.
+
+:func:`build_certificate` executes, for concrete (Delta, k), every
+step the paper chains together:
+
+1. Lemma 5   — k-ODS solves Pi_Delta(Delta, k) in one round (witnessed
+               on an actual instance).
+2. Lemma 6   — the engine's R(Pi) equals the claimed normal form
+               (verified directly for small Delta).
+3. Lemma 8   — the paper's case analysis holds (all Delta), plus the
+               direct Rbar computation when feasible.
+4. Lemma 9   — the edge-coloring conversion succeeds on a concrete
+               Pi+ solution.
+5. Lemma 13  — the chain exists, its arithmetic audits, and the final
+               problem fails the Lemma 12 test.
+6. Theorem 14/1 — the premises hold and the lifted bounds are emitted.
+
+The result is a :class:`LowerBoundCertificate` whose ``ok`` property
+states that every executed check passed — the closest a program can
+come to "running" the paper's proof for one parameter point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algorithms.greedy import greedy_mis
+from repro.lowerbound.lemma5 import verify_lemma5
+from repro.lowerbound.lemma6 import verify_lemma6
+from repro.lowerbound.lemma8 import verify_lemma8_argument, verify_lemma8_direct
+from repro.lowerbound.lemma9 import verify_lemma9
+from repro.lowerbound.lift import (
+    theorem1_deterministic_bound,
+    theorem1_randomized_bound,
+    verify_theorem14_premises,
+)
+from repro.lowerbound.sequence import lemma13_chain, verify_chain_arithmetic
+from repro.sim.generators import colored_port_cayley_graph, complete_bipartite_graph
+
+#: Direct Rbar(R(.)) computation is exponential in Delta; cap it here.
+DIRECT_VERIFICATION_LIMIT = 5
+#: Lemma 8's case analysis expands condensed constraints; cap for speed.
+ARGUMENT_VERIFICATION_LIMIT = 14
+#: Witness instances grow as 2^Delta (Cayley); cap the instance checks.
+INSTANCE_LIMIT = 8
+
+
+@dataclass
+class LowerBoundCertificate:
+    """Everything :func:`build_certificate` established for (Delta, k)."""
+
+    delta: int
+    k: int
+    n: float
+    chain_length: int = 0
+    deterministic_bound: float = 0.0
+    randomized_bound: float = 0.0
+    checks: dict = field(default_factory=dict)
+    skipped: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """All executed checks passed."""
+        return all(self.checks.values())
+
+    def render(self) -> str:
+        """A human-readable audit trail."""
+        lines = [
+            f"lower-bound certificate for Delta={self.delta}, k={self.k}, "
+            f"n={self.n:g}",
+            f"  chain length (PN rounds): {self.chain_length}",
+            f"  Theorem 1 deterministic: {self.deterministic_bound:g} rounds",
+            f"  Theorem 1 randomized:    {self.randomized_bound:g} rounds",
+        ]
+        for name, passed in sorted(self.checks.items()):
+            lines.append(f"  [{'ok' if passed else 'FAIL'}] {name}")
+        for name in self.skipped:
+            lines.append(f"  [skipped] {name} (above the feasibility cap)")
+        return "\n".join(lines)
+
+
+def build_certificate(delta: int, k: int = 0, n: float = 2**64) -> LowerBoundCertificate:
+    """Run the whole roadmap for one parameter point.
+
+    All checks raise-free: failures are recorded in ``checks`` so the
+    certificate can report exactly which step broke.
+    """
+    certificate = LowerBoundCertificate(delta=delta, k=k, n=n)
+    checks = certificate.checks
+
+    chain = lemma13_chain(delta, k)
+    certificate.chain_length = max(len(chain) - 1, 0)
+    checks["lemma13 chain arithmetic"] = _safe(
+        lambda: verify_chain_arithmetic(chain)
+    )
+    premises = verify_theorem14_premises(chain)
+    checks["theorem14 premises"] = premises.ok
+    certificate.deterministic_bound = theorem1_deterministic_bound(n, delta, k)
+    certificate.randomized_bound = theorem1_randomized_bound(n, delta, k)
+
+    # Lemma-level verification on a representative chain step.
+    representative = next(
+        (step for step in chain if step.x + 2 <= step.a <= step.delta), None
+    )
+    if representative is None:
+        certificate.skipped.append("lemma 6/8/9 (no step in the valid range)")
+        return certificate
+    a, x = representative.a, representative.x
+
+    if delta <= ARGUMENT_VERIFICATION_LIMIT:
+        checks["lemma6 normal form"] = _safe(lambda: verify_lemma6(delta, a, x))
+        checks["lemma8 case analysis"] = _safe(
+            lambda: verify_lemma8_argument(delta, a, x).ok
+        )
+    else:
+        certificate.skipped.append("lemma 6/8 expansion")
+    if delta <= DIRECT_VERIFICATION_LIMIT:
+        checks["lemma8 direct Rbar"] = _safe(
+            lambda: verify_lemma8_direct(delta, a, x)
+        )
+    else:
+        certificate.skipped.append("lemma8 direct Rbar")
+
+    if delta <= ARGUMENT_VERIFICATION_LIMIT and 2 * x + 1 <= a and a >= x + 2:
+        checks["lemma9 conversion"] = _safe(
+            lambda: _lemma9_witness(delta, a, x)
+        )
+    else:
+        certificate.skipped.append("lemma9 witness")
+
+    if delta <= INSTANCE_LIMIT:
+        checks["lemma5 instance witness"] = _safe(
+            lambda: _lemma5_witness(delta, k)
+        )
+    else:
+        certificate.skipped.append("lemma5 instance witness")
+    return certificate
+
+
+def _lemma9_witness(delta: int, a: int, x: int) -> bool:
+    graph = complete_bipartite_graph(delta)
+    labeling = {}
+    for node in range(delta):
+        for port in range(delta):
+            labeling[(node, port)] = "C" if port >= x else "X"
+    for node in range(delta, 2 * delta):
+        for port in range(delta):
+            labeling[(node, port)] = "A" if port < a - x - 1 else "X"
+    return verify_lemma9(graph, labeling, delta, a, x).ok
+
+
+def _lemma5_witness(delta: int, k: int) -> bool:
+    graph = colored_port_cayley_graph(delta)
+    mis = greedy_mis(graph)
+    # An MIS is a 0-outdegree (hence k-outdegree) dominating set.
+    return verify_lemma5(graph, mis, {}, k=k, a=max(delta // 2, 1)).ok
+
+
+def _safe(check) -> bool:
+    try:
+        return bool(check())
+    except (AssertionError, ValueError):
+        return False

@@ -1,0 +1,103 @@
+"""Lemma 5: a k-outdegree dominating set yields Pi_Delta(a, k) in 1 round.
+
+Dominating-set nodes label their (at most k) outgoing induced edges
+``X``, the rest ``M``, then upgrade arbitrary further ``M`` to ``X``
+until exactly k edges carry ``X``.  Every other node spends the one
+communication round learning which neighbors are in the set, points
+``P`` at one of them and labels the rest ``O``.  The result satisfies
+Pi_Delta(a, k) for every ``a`` — the ``A`` configuration is simply
+never used.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.problems.family import family_problem
+from repro.sim.graph import Graph
+from repro.sim.verifiers import (
+    VerificationResult,
+    verify_k_outdegree_dominating_set,
+    verify_lcl,
+)
+
+Labeling = dict[tuple[int, int], str]
+
+
+def labeling_from_kods(
+    graph: Graph,
+    selected: Iterable[int],
+    orientation: Mapping[int, int],
+    k: int,
+) -> Labeling:
+    """The 1-round conversion of Lemma 5.
+
+    ``selected`` is the dominating set S, ``orientation`` maps each
+    induced edge id of G[S] to its head.  Produces a half-edge labeling
+    for Pi_Delta(a, k); at nodes of degree d < Delta (leaves of a
+    truncated tree) the same rules produce the degree-d analogue of the
+    configurations, with min(k, d) labels X.
+    """
+    chosen = set(selected)
+    labeling: Labeling = {}
+    for node in range(graph.n):
+        degree = graph.degree(node)
+        if node in chosen:
+            labels = []
+            for port in range(degree):
+                half = graph.half_edges(node)[port]
+                outgoing = (
+                    half.neighbor in chosen
+                    and orientation.get(half.edge_id) == half.neighbor
+                )
+                labels.append("X" if outgoing else "M")
+            budget = min(k, degree)
+            for port in range(degree):
+                if labels.count("X") >= budget:
+                    break
+                if labels[port] == "M":
+                    labels[port] = "X"
+            for port, label in enumerate(labels):
+                labeling[(node, port)] = label
+        else:
+            pointer = None
+            for port in range(degree):
+                if graph.neighbor(node, port) in chosen:
+                    pointer = port
+                    break
+            if pointer is None:
+                raise ValueError(
+                    f"node {node} is not dominated; the input is not a "
+                    "dominating set"
+                )
+            for port in range(degree):
+                labeling[(node, port)] = "P" if port == pointer else "O"
+    return labeling
+
+
+def verify_lemma5(
+    graph: Graph,
+    selected: Iterable[int],
+    orientation: Mapping[int, int],
+    k: int,
+    a: int,
+) -> VerificationResult:
+    """Check the input k-ODS, convert, check against Pi_Delta(a, k).
+
+    On non-regular graphs (truncated trees) the node constraint is only
+    enforced at full-degree nodes, matching the infinite-tree reading.
+    """
+    kods = verify_k_outdegree_dominating_set(graph, selected, orientation, k)
+    if not kods.ok:
+        raise ValueError(
+            "input is not a valid k-outdegree dominating set: "
+            + "; ".join(kods.violations)
+        )
+    labeling = labeling_from_kods(graph, selected, orientation, k)
+    problem = family_problem(graph.max_degree(), a, k)
+    return verify_lcl(
+        graph,
+        problem,
+        labeling,
+        skip_non_full_degree_nodes=not graph.is_regular(),
+    )

@@ -1,0 +1,163 @@
+"""Lemma 13: the Omega(log Delta) lower-bound chain.
+
+The chain is ``Pi_i = Pi_Delta(floor(Delta / 2^(3i)), x + i)``.  One
+round-elimination step (Corollary 10 = Lemma 8 + Lemma 9) takes
+Pi_Delta(a, x) to Pi_Delta(floor((a - 2x - 1)/2), x + 1), and Lemma 11
+relaxes that to the next chain member whenever (following the proof)
+``x_i < a_i / 8`` and ``a_i >= 4``.  The chain length is therefore a
+*constructive* lower bound on the deterministic port-numbering
+complexity of Pi_0 — and, through Lemma 5, of the k-outdegree
+dominating set problem with k = x.
+
+Every step of the chain carries its side-condition checks; the
+benchmarks additionally re-verify sampled steps with the full engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.problem import Problem
+from repro.core.solvability import zero_round_solvable_symmetric
+from repro.lowerbound.lemma9 import lemma9_target_a
+from repro.problems.family import family_problem
+
+
+@dataclass(frozen=True)
+class ChainStep:
+    """One problem of the Lemma 13 sequence."""
+
+    index: int
+    delta: int
+    a: int
+    x: int
+
+    @property
+    def problem(self) -> Problem:
+        """The problem Pi_Delta(a, x) of this step."""
+        return family_problem(self.delta, self.a, self.x)
+
+    def speedup_conditions_hold(self) -> bool:
+        """The proof's conditions for taking one more step from here."""
+        return self.a >= 4 and self.x < self.a / 8
+
+    def corollary10_conditions_hold(self) -> bool:
+        """Corollary 10's own hypotheses (implied by the above)."""
+        return (
+            2 * self.x + 1 <= self.a
+            and self.x + 2 <= self.a <= self.delta
+        )
+
+    def render(self) -> str:
+        """``Pi_3 = Pi(a=12, x=4)`` style."""
+        return f"Pi_{self.index} = Pi(delta={self.delta}, a={self.a}, x={self.x})"
+
+
+def lemma13_chain(delta: int, x: int = 0) -> list[ChainStep]:
+    """The longest valid prefix of the Lemma 13 sequence.
+
+    Starts from ``Pi_0 = Pi_Delta(Delta, x)`` and appends
+    ``Pi_(i+1) = Pi_Delta(floor(Delta / 2^(3(i+1))), x + i + 1)`` while
+    the proof's conditions (``a_i >= 4``, ``x_i < a_i / 8``) hold at
+    the current step.  Every produced step is checked to be non-0-round
+    solvable (Lemma 12), so the chain length equals the number of valid
+    round-elimination steps.
+    """
+    if delta < 1:
+        raise ValueError("delta must be positive")
+    if x < 0:
+        raise ValueError("x must be non-negative")
+    chain: list[ChainStep] = []
+    index = 0
+    while True:
+        a_i = delta // (2 ** (3 * index))
+        x_i = x + index
+        if a_i < 1 or x_i > delta - 1:
+            break
+        step = ChainStep(index=index, delta=delta, a=a_i, x=x_i)
+        chain.append(step)
+        if not step.speedup_conditions_hold():
+            break
+        index += 1
+    return chain
+
+
+def verify_chain_arithmetic(chain: list[ChainStep]) -> bool:
+    """Check the numeric glue between consecutive chain steps.
+
+    For each step: Corollary 10's hypotheses hold, the post-speedup
+    ownership target ``floor((a_i - 2 x_i - 1)/2)`` is at least the
+    next step's ``a_(i+1)`` (so Lemma 11 applies in the easy
+    direction), the x parameter advances by exactly one, and every
+    problem in the chain — including the last — fails the 0-round
+    solvability test of Lemma 12.  Raises ``AssertionError`` with the
+    offending step otherwise.
+    """
+    for current, following in zip(chain, chain[1:]):
+        if not current.corollary10_conditions_hold():
+            raise AssertionError(f"Corollary 10 hypotheses fail at {current.render()}")
+        if not current.speedup_conditions_hold():
+            raise AssertionError(f"speedup conditions fail at {current.render()}")
+        target = lemma9_target_a(current.a, current.x)
+        if following.a > target:
+            raise AssertionError(
+                f"{following.render()} is not reachable from {current.render()}: "
+                f"a_target={target}"
+            )
+        if following.x != current.x + 1:
+            raise AssertionError(f"x must advance by 1 into {following.render()}")
+    for step in chain:
+        if step_zero_round_solvable(step):
+            raise AssertionError(f"{step.render()} is 0-round solvable")
+    return True
+
+
+def step_zero_round_solvable(step: ChainStep) -> bool:
+    """Lemma 12's test for one chain step, scalable to huge Delta.
+
+    For small Delta the full engine test runs on the materialized
+    problem.  For large Delta, materializing arity-Delta configurations
+    is wasteful; instead the label *supports* of the three node
+    configurations are computed symbolically and checked against the
+    engine-computed self-compatible labels of the (Delta-independent)
+    family edge constraint — the same test, without the blow-up.
+    """
+    if step.delta <= 64:
+        return zero_round_solvable_symmetric(step.problem)
+    delta, a, x = step.delta, step.a, step.x
+    reference = family_problem(4, min(a, 4), min(x, 4))
+    self_compatible = reference.self_compatible_labels()
+    supports = [
+        {label for label, count in (("M", delta - x), ("X", x)) if count > 0},
+        {label for label, count in (("A", a), ("X", delta - a)) if count > 0},
+        {label for label, count in (("P", 1), ("O", delta - 1)) if count > 0},
+    ]
+    return any(support <= self_compatible for support in supports)
+
+
+def sequence_length(delta: int, k: int = 0) -> int:
+    """The port-numbering lower bound from the chain: its step count.
+
+    ``k`` plays the role of the starting ``x`` (Lemma 5 hands a
+    k-outdegree dominating set to ``Pi_Delta(Delta, k)`` in one round).
+    A chain of ``t + 1`` problems certifies ``t`` rounds.
+    """
+    return max(len(lemma13_chain(delta, k)) - 1, 0)
+
+
+def max_k_for_logdelta_bound(delta: int, fraction: float = 0.5) -> int:
+    """The largest k retaining at least ``fraction`` of the k=0 chain.
+
+    A concrete stand-in for the paper's ``k <= Delta^epsilon``
+    threshold: beyond this k the chain (and hence the Omega(log Delta)
+    bound) collapses.
+    """
+    baseline = sequence_length(delta, 0)
+    if baseline == 0:
+        return 0
+    k = 0
+    while sequence_length(delta, k + 1) >= fraction * baseline:
+        k += 1
+        if k > delta:
+            break
+    return k

@@ -1,0 +1,33 @@
+"""Concrete locally checkable problems used by the paper.
+
+* :mod:`repro.problems.mis` — the MIS encoding of Section 2.2.
+* :mod:`repro.problems.family` — the family Pi_Delta(a, x) of Section 3,
+  its strengthened sibling Pi+_Delta(a, x) from Lemma 8, and the
+  relaxed Pi_rel used inside Lemma 8's proof.
+* :mod:`repro.problems.classic` — classics used as engine cross-checks
+  (sinkless orientation, colorings, perfect matching).
+"""
+
+from repro.problems.mis import mis_problem
+from repro.problems.family import (
+    FAMILY_LABELS,
+    family_plus_problem,
+    family_problem,
+    pi_rel_problem,
+)
+from repro.problems.classic import (
+    coloring_problem,
+    perfect_matching_problem,
+    sinkless_orientation_problem,
+)
+
+__all__ = [
+    "mis_problem",
+    "FAMILY_LABELS",
+    "family_problem",
+    "family_plus_problem",
+    "pi_rel_problem",
+    "coloring_problem",
+    "perfect_matching_problem",
+    "sinkless_orientation_problem",
+]

@@ -1,0 +1,71 @@
+"""Classic locally checkable problems used to cross-validate the engine.
+
+These have well-known behaviour under round elimination (see the round
+eliminator tutorial [36] and Brandt PODC'19), which the test suite uses
+as ground truth for the R / Rbar implementation:
+
+* *sinkless orientation* is a non-trivial fixed point of the speedup;
+* *proper colorings* are 0-round solvable in the formalism only when
+  enough colors are available relative to the instance family;
+* *perfect matching* has the classic two-label edge encoding.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.constraints import Constraint
+from repro.core.configurations import Configuration
+from repro.core.problem import Problem
+
+
+def sinkless_orientation_problem(delta: int) -> Problem:
+    """Sinkless orientation on Delta-regular graphs.
+
+    Each edge is oriented: one endpoint labels it ``O`` (outgoing), the
+    other ``I`` (incoming).  Every node needs at least one outgoing
+    edge.  This is the seminal lower-bound problem of Brandt et
+    al. [14] and a fixed point of one round-elimination step.
+    """
+    if delta < 2:
+        raise ValueError("sinkless orientation needs delta >= 2")
+    return Problem.from_text(
+        node_lines=[f"O [IO]^{delta - 1}"],
+        edge_lines=["O I"],
+        name=f"SinklessOrientation(delta={delta})",
+    )
+
+
+def coloring_problem(delta: int, colors: int) -> Problem:
+    """Proper vertex ``colors``-coloring on Delta-regular graphs.
+
+    A node of color ``c`` outputs ``c`` on every incident edge; an edge
+    must see two distinct colors.
+    """
+    if colors < 2:
+        raise ValueError("need at least 2 colors")
+    names = [f"c{i}" for i in range(colors)]
+    node_constraint = Constraint(
+        Configuration([name] * delta) for name in names
+    )
+    edge_constraint = Constraint(
+        Configuration(pair) for pair in itertools.combinations(names, 2)
+    )
+    return Problem(
+        names, node_constraint, edge_constraint, name=f"Coloring({colors}, delta={delta})"
+    )
+
+
+def perfect_matching_problem(delta: int) -> Problem:
+    """Perfect matching on Delta-regular graphs.
+
+    Every node has exactly one matched edge (``M``); matched edges have
+    ``M`` on both sides and unmatched edges ``O`` on both sides.
+    """
+    if delta < 1:
+        raise ValueError("perfect matching needs delta >= 1")
+    return Problem.from_text(
+        node_lines=[f"M O^{delta - 1}"],
+        edge_lines=["M M", "O O"],
+        name=f"PerfectMatching(delta={delta})",
+    )

@@ -1,0 +1,148 @@
+"""The problem family Pi_Delta(a, x) of Section 3 and its relatives.
+
+``family_problem(delta, a, x)`` is the paper's Pi_Delta(a, x):
+
+* type-1 nodes (in the dominating set) output ``M^(Delta-x) X^x`` —
+  up to ``x`` incident edges (the ``X`` ones) may lead to other
+  dominating-set nodes, realizing the outdegree-``x`` relaxation of
+  independence;
+* type-3 nodes output ``A^a X^(Delta-a)`` — they *own* at least ``a``
+  incident edges;
+* type-2 nodes output ``P O^(Delta-1)`` — they point to a dominating
+  neighbor (or to a type-3 neighbor through a non-owned edge).
+
+Edge constraint (Section 3.1): ``M[PAOX]``, ``O[MAOX]``, ``P[MX]``,
+``A[MOX]``, ``X[MPAOX]`` — i.e. ``MM``, ``AA``, ``PP``, ``PA`` and
+``PO`` are the forbidden pairs.
+
+``family_plus_problem(delta, a, x)`` is Pi+_Delta(a, x) from Lemma 8:
+the problem shown to be exactly one round easier than Pi_Delta(a, x).
+It adds the label ``C`` with node configuration ``C^(Delta-x) X^x``
+(edge-compatible with ``[MAOX]``), lowers the ownership requirement of
+``A``-nodes to ``a - x - 1`` and the exponent of the ``M``
+configuration to ``Delta - x - 1``.
+
+``pi_rel_problem(delta, a, x)`` is the same problem *before* the final
+renaming: its labels are the six right-closed sets of labels of
+R(Pi_Delta(a, x)) that appear in Lemma 8's proof (MUBQ, XMOUABPQ, PQ,
+OUABPQ, ABPQ, UBPQ).
+"""
+
+from __future__ import annotations
+
+from repro.core.labels import Alphabet
+from repro.core.problem import Problem
+
+#: The label set of every Pi_Delta(a, x) (Section 3.1).
+FAMILY_LABELS = ("M", "P", "O", "A", "X")
+
+#: The right-closed sets of R(Pi)-labels used by Lemma 8, with the
+#: renaming of its final mapping (set -> Pi+ label).
+PI_REL_RENAMING = {
+    frozenset("MUBQ"): "M",
+    frozenset("XMOUABPQ"): "X",
+    frozenset("PQ"): "P",
+    frozenset("OUABPQ"): "O",
+    frozenset("ABPQ"): "A",
+    frozenset("UBPQ"): "C",
+}
+
+
+def _check_parameters(delta: int, a: int, x: int) -> None:
+    if delta < 1:
+        raise ValueError(f"delta must be positive, got {delta}")
+    if not 0 <= a <= delta:
+        raise ValueError(f"need 0 <= a <= delta, got a={a}, delta={delta}")
+    if not 0 <= x <= delta:
+        raise ValueError(f"need 0 <= x <= delta, got x={x}, delta={delta}")
+
+
+def family_problem(delta: int, a: int, x: int) -> Problem:
+    """The paper's Pi_Delta(a, x) (Section 3.1)."""
+    _check_parameters(delta, a, x)
+    node_lines = [
+        _power("M", delta - x) + _power("X", x),
+        _power("A", a) + _power("X", delta - a),
+        _power("P", 1) + _power("O", delta - 1),
+    ]
+    edge_lines = [
+        "M [PAOX]",
+        "O [MAOX]",
+        "P [MX]",
+        "A [MOX]",
+        "X [MPAOX]",
+    ]
+    problem = Problem.from_text(
+        node_lines=[line for line in node_lines if line],
+        edge_lines=edge_lines,
+        name=f"Pi(delta={delta}, a={a}, x={x})",
+    )
+    # Keep the full five-label alphabet even when a parameter boundary
+    # (x = 0, a = 0, ...) makes some label unused in the node constraint:
+    # the constraints of the paper always mention all five labels.
+    return Problem(
+        Alphabet(FAMILY_LABELS),
+        problem.node_constraint,
+        problem.edge_constraint,
+        name=problem.name,
+    )
+
+
+def family_plus_problem(delta: int, a: int, x: int) -> Problem:
+    """Pi+_Delta(a, x): one round easier than Pi_Delta(a, x) (Lemma 8).
+
+    Requires ``x + 2 <= a <= delta`` (the hypothesis of Lemma 8), so
+    that the ``A`` configuration ``A^(a-x-1) X^(delta-a+x+1)`` and the
+    ``M`` configuration ``M^(delta-x-1) X^(x+1)`` are well formed.
+    """
+    _check_parameters(delta, a, x)
+    if a < x + 2:
+        raise ValueError(f"Lemma 8 needs a >= x + 2, got a={a}, x={x}")
+    if x + 1 > delta:
+        raise ValueError(f"need x + 1 <= delta, got x={x}, delta={delta}")
+    node_lines = [
+        _power("M", delta - x - 1) + _power("X", x + 1),
+        _power("C", delta - x) + _power("X", x),
+        _power("A", a - x - 1) + _power("X", delta - a + x + 1),
+        _power("P", 1) + _power("O", delta - 1),
+    ]
+    edge_lines = [
+        "M [PAOXC]",
+        "O [MAOXC]",
+        "P [MX]",
+        "A [MOXC]",
+        "X [MPAOXC]",
+        "C [MAOX]",
+    ]
+    problem = Problem.from_text(
+        node_lines=[line for line in node_lines if line],
+        edge_lines=edge_lines,
+        name=f"Pi+(delta={delta}, a={a}, x={x})",
+    )
+    return Problem(
+        Alphabet(("M", "P", "O", "A", "X", "C")),
+        problem.node_constraint,
+        problem.edge_constraint,
+        name=problem.name,
+    )
+
+
+def pi_rel_problem(delta: int, a: int, x: int) -> Problem:
+    """Pi_rel from Lemma 8's proof: Pi+ before the final renaming.
+
+    Its labels are the six right-closed sets of (renamed) labels of
+    R(Pi_Delta(a, x)); renaming them through :data:`PI_REL_RENAMING`
+    yields exactly :func:`family_plus_problem` (checked in the tests —
+    this is the last step of Lemma 8).
+    """
+    plus = family_plus_problem(delta, a, x)
+    inverse = {new: old for old, new in PI_REL_RENAMING.items()}
+    return plus.rename(inverse, name=f"Pi_rel(delta={delta}, a={a}, x={x})")
+
+
+def _power(label: str, exponent: int) -> str:
+    if exponent < 0:
+        raise ValueError(f"negative exponent for {label}: {exponent}")
+    if exponent == 0:
+        return ""
+    return f"{label}^{exponent} "

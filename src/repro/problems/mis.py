@@ -1,0 +1,28 @@
+"""The MIS problem in the round-elimination formalism (paper, Sec. 2.2).
+
+Three labels are necessary and sufficient to encode MIS in this
+formalism [3].  Nodes in the independent set output ``M`` on every
+incident edge; nodes outside output ``P`` toward exactly one MIS
+neighbor (maximality) and ``O`` on the remaining edges.  The edge
+constraint forbids ``MM`` (independence), ``PP`` and ``PO``
+(pointers must reach MIS nodes).
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import Problem
+
+
+def mis_problem(delta: int) -> Problem:
+    """The MIS problem on Delta-regular graphs.
+
+    Node constraint: ``M^Delta`` and ``P O^(Delta-1)``.
+    Edge constraint: ``M [PO]`` and ``OO``.
+    """
+    if delta < 2:
+        raise ValueError("MIS in this formalism needs delta >= 2")
+    return Problem.from_text(
+        node_lines=[f"M^{delta}", f"P O^{delta - 1}"],
+        edge_lines=["M [PO]", "O O"],
+        name=f"MIS(delta={delta})",
+    )

@@ -1,0 +1,110 @@
+"""A LOCAL / port-numbering model simulator.
+
+The substrate for the experimental side of the reproduction: graphs
+with port numberings and edge colorings, generators for (regular)
+trees and the paper's symmetric-port instances, a synchronous
+message-passing runtime with LOCAL and PN node views, and verifiers
+for every output object the paper talks about (MIS, dominating sets,
+k-outdegree dominating sets, colorings, generic LCL labelings).
+"""
+
+from repro.sim.graph import Graph, HalfEdge
+from repro.sim.generators import (
+    colored_port_cayley_graph,
+    cycle_graph,
+    path_graph,
+    random_tree,
+    random_tree_bounded_degree,
+    star_graph,
+    truncated_regular_tree,
+)
+from repro.sim.edge_coloring import (
+    greedy_edge_coloring,
+    is_proper_edge_coloring,
+    ports_from_edge_coloring,
+    tree_edge_coloring,
+)
+from repro.sim.runtime import (
+    Algorithm,
+    Ball,
+    MessageTooLargeError,
+    NodeView,
+    RunResult,
+    collect_ball,
+    estimate_message_bits,
+    run,
+    run_ball_algorithm,
+)
+from repro.sim.transform import (
+    degeneracy_orientation,
+    induced_subgraph,
+    is_maximal_matching,
+    line_graph,
+)
+from repro.sim.views import (
+    indistinguishable,
+    view_classes,
+    view_signature,
+)
+from repro.sim.brute_force import (
+    impossible_for_every_radius,
+    solvability_radius,
+    uniform_algorithm_exists,
+)
+from repro.sim.verifiers import (
+    VerificationResult,
+    verify_arbdefective_coloring,
+    verify_defective_coloring,
+    verify_dominating_set,
+    verify_independent_set,
+    verify_k_degree_dominating_set,
+    verify_k_outdegree_dominating_set,
+    verify_lcl,
+    verify_mis,
+    verify_proper_coloring,
+)
+
+__all__ = [
+    "Graph",
+    "HalfEdge",
+    "colored_port_cayley_graph",
+    "cycle_graph",
+    "path_graph",
+    "random_tree",
+    "random_tree_bounded_degree",
+    "star_graph",
+    "truncated_regular_tree",
+    "greedy_edge_coloring",
+    "is_proper_edge_coloring",
+    "ports_from_edge_coloring",
+    "tree_edge_coloring",
+    "Algorithm",
+    "Ball",
+    "MessageTooLargeError",
+    "NodeView",
+    "RunResult",
+    "collect_ball",
+    "estimate_message_bits",
+    "run",
+    "run_ball_algorithm",
+    "degeneracy_orientation",
+    "induced_subgraph",
+    "is_maximal_matching",
+    "line_graph",
+    "indistinguishable",
+    "view_classes",
+    "view_signature",
+    "impossible_for_every_radius",
+    "solvability_radius",
+    "uniform_algorithm_exists",
+    "VerificationResult",
+    "verify_arbdefective_coloring",
+    "verify_defective_coloring",
+    "verify_dominating_set",
+    "verify_independent_set",
+    "verify_k_degree_dominating_set",
+    "verify_k_outdegree_dominating_set",
+    "verify_lcl",
+    "verify_mis",
+    "verify_proper_coloring",
+]

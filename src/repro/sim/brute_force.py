@@ -1,0 +1,143 @@
+"""Brute-force decision of deterministic PN solvability on an instance.
+
+A deterministic t-round PN algorithm is a function from radius-t views
+to port-labeled outputs; on a *fixed* graph it therefore assigns one
+output per view class (:func:`repro.sim.views.view_classes`).  For
+small instances the space of such assignments can be searched
+exhaustively, deciding exactly whether *any* deterministic t-round
+algorithm solves the problem on that instance.
+
+Two take-aways the tests establish:
+
+* On the symmetric-port Cayley instances, all nodes share one view
+  class at every radius, so any problem whose node configurations all
+  contain a non-self-compatible label is unsolvable *for every t* —
+  the engine-level Lemma 12 argument, replayed on an actual network.
+* On instances with richer view structure (paths, trees), solvability
+  kicks in at the radius where the classes separate enough, giving a
+  concrete feel for "t rounds buy t-radius information".
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.configurations import Configuration
+from repro.core.problem import Problem
+from repro.sim.graph import Graph
+from repro.sim.verifiers import verify_lcl
+from repro.sim.views import view_classes
+
+
+def class_output_options(problem: Problem, degree: int) -> list[tuple]:
+    """All ordered port labelings a node of ``degree`` may output.
+
+    For full-degree nodes these are the permutations of allowed node
+    configurations; the search treats lower-degree nodes as
+    unconstrained on the node side (their edges still count), matching
+    the truncated-tree reading used everywhere else.
+    """
+    options: set[tuple] = set()
+    if degree == problem.delta:
+        for configuration in problem.node_constraint.configurations:
+            for order in set(itertools.permutations(configuration.items)):
+                options.add(order)
+    else:
+        labels = sorted(problem.alphabet, key=str)
+        for order in itertools.product(labels, repeat=degree):
+            options.add(order)
+    return sorted(options)
+
+
+def uniform_algorithm_exists(
+    problem: Problem, graph: Graph, radius: int, limit: int = 2_000_000
+) -> bool:
+    """Whether some deterministic ``radius``-round PN algorithm solves
+    ``problem`` on ``graph``.
+
+    Exhaustive search over per-view-class outputs with a work ``limit``
+    guard (raises ``RuntimeError`` beyond it rather than silently
+    degrading to a heuristic).
+    """
+    classes = view_classes(graph, radius)
+    class_of_node: dict[int, int] = {}
+    for index, group in enumerate(classes):
+        for node in group:
+            class_of_node[node] = index
+    degree_of_class = [graph.degree(group[0]) for group in classes]
+    options = [
+        class_output_options(problem, degree) for degree in degree_of_class
+    ]
+    total = 1
+    for choice in options:
+        total *= max(len(choice), 1)
+        if total > limit:
+            raise RuntimeError(
+                f"search space {total}+ exceeds the limit {limit}"
+            )
+    for assignment in itertools.product(*options):
+        labeling = {}
+        for node in range(graph.n):
+            output = assignment[class_of_node[node]]
+            for port, label in enumerate(output):
+                labeling[(node, port)] = label
+        if verify_lcl(
+            graph, problem, labeling, skip_non_full_degree_nodes=True
+        ).ok:
+            return True
+    return False
+
+
+def solvability_radius(
+    problem: Problem, graph: Graph, max_radius: int = 3
+) -> int | None:
+    """The smallest radius at which a uniform algorithm exists, if any."""
+    for radius in range(max_radius + 1):
+        if uniform_algorithm_exists(problem, graph, radius):
+            return radius
+    return None
+
+
+def witness_labeling(
+    problem: Problem, graph: Graph, radius: int
+) -> dict[tuple[int, int], object] | None:
+    """A solving per-class labeling, or ``None`` (same search as above)."""
+    classes = view_classes(graph, radius)
+    class_of_node: dict[int, int] = {}
+    for index, group in enumerate(classes):
+        for node in group:
+            class_of_node[node] = index
+    options = [
+        class_output_options(problem, graph.degree(group[0])) for group in classes
+    ]
+    for assignment in itertools.product(*options):
+        labeling = {}
+        for node in range(graph.n):
+            output = assignment[class_of_node[node]]
+            for port, label in enumerate(output):
+                labeling[(node, port)] = label
+        if verify_lcl(
+            graph, problem, labeling, skip_non_full_degree_nodes=True
+        ).ok:
+            return labeling
+    return None
+
+
+def impossible_for_every_radius(problem: Problem, graph: Graph) -> bool:
+    """A sufficient condition for unsolvability at *all* radii.
+
+    If the graph has a color- and port-preserving transitive symmetry
+    (one view class at some radius >= its diameter is a certificate we
+    approximate by checking radius = n, clamped), every deterministic
+    PN algorithm labels all nodes identically; if additionally every
+    allowed node configuration contains a label not compatible with
+    itself, some edge always breaks (the Lemma 12 argument).
+    """
+    # One view class at radius n implies one class at every radius.
+    if len(view_classes(graph, min(graph.n, 6))) != 1:
+        return False
+    self_compatible = problem.self_compatible_labels()
+    return all(
+        not configuration.support() <= self_compatible
+        for configuration in problem.node_constraint.configurations
+    )

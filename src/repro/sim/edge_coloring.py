@@ -1,0 +1,101 @@
+"""Proper edge colorings and the coloring-aligned port numbering.
+
+The paper's lower bound holds *even when* nodes receive a proper
+Delta-edge coloring as input; the proof in fact exploits it (Lemma 9).
+Trees are Class 1, so a Delta-edge coloring always exists and a rooted
+sweep finds one.  :func:`ports_from_edge_coloring` rebuilds the port
+numbering so that every edge's color equals its port at both endpoints,
+producing exactly the instances of Lemmas 12 and 15.
+"""
+
+from __future__ import annotations
+
+from repro.sim.graph import Graph
+
+
+def tree_edge_coloring(graph: Graph, colors: int | None = None) -> Graph:
+    """Color the edges of a tree properly with ``max_degree`` colors.
+
+    Root the tree at node 0 and sweep down: each node assigns to its
+    child edges the colors ``0 .. delta-1`` minus the color of its
+    parent edge, round-robin.  Mutates and returns ``graph``.
+    """
+    if not graph.is_tree():
+        raise ValueError("tree_edge_coloring needs a tree")
+    palette = colors if colors is not None else max(graph.max_degree(), 1)
+    if palette < graph.max_degree():
+        raise ValueError(
+            f"{palette} colors cannot properly color a tree of max degree "
+            f"{graph.max_degree()}"
+        )
+    parent_color = {0: None}
+    queue = [0]
+    seen = {0}
+    while queue:
+        node = queue.pop()
+        next_color = 0
+        for half in graph.half_edges(node):
+            if half.neighbor in seen:
+                continue
+            while next_color == parent_color[node]:
+                next_color += 1
+            graph.set_edge_color(half.edge_id, next_color % palette)
+            parent_color[half.neighbor] = next_color % palette
+            next_color += 1
+            seen.add(half.neighbor)
+            queue.append(half.neighbor)
+    return graph
+
+
+def greedy_edge_coloring(graph: Graph) -> Graph:
+    """Properly color any graph's edges greedily.
+
+    Uses at most ``2 * Delta - 1`` colors (first color free at both
+    endpoints).  Mutates and returns ``graph``.
+    """
+    used_at: list[set[int]] = [set() for _ in range(graph.n)]
+    for edge_id, u, v in graph.edges():
+        color = 0
+        while color in used_at[u] or color in used_at[v]:
+            color += 1
+        graph.set_edge_color(edge_id, color)
+        used_at[u].add(color)
+        used_at[v].add(color)
+    return graph
+
+
+def is_proper_edge_coloring(graph: Graph) -> bool:
+    """Whether all edges are colored and no node repeats a color."""
+    if not graph.is_fully_colored():
+        return False
+    for node in range(graph.n):
+        colors = [graph.color_at(node, port) for port in range(graph.degree(node))]
+        if len(set(colors)) != len(colors):
+            return False
+    return True
+
+
+def ports_from_edge_coloring(graph: Graph) -> Graph:
+    """Renumber ports so that port == edge color at both endpoints.
+
+    Requires a proper edge coloring whose colors, at every node, form a
+    prefix-compatible set: each node of degree d must see colors that
+    are exactly ``{0, .., d-1}`` (true for regular graphs colored with
+    Delta colors).  Returns a new graph; this is the adversarial port
+    assignment of Lemma 12.
+    """
+    if not is_proper_edge_coloring(graph):
+        raise ValueError("needs a proper edge coloring")
+    port_maps: list[dict[int, int]] = []
+    for node in range(graph.n):
+        degree = graph.degree(node)
+        mapping = {
+            port: graph.color_at(node, port) for port in range(degree)
+        }
+        if set(mapping.values()) != set(range(degree)):
+            raise ValueError(
+                f"node {node} sees colors {sorted(set(mapping.values()))}, "
+                f"expected exactly 0..{degree - 1}"
+            )
+        port_maps.append(mapping)
+    return graph.with_ports(port_maps)

@@ -1,0 +1,233 @@
+"""Graph generators: trees, cycles, and the paper's hard instances.
+
+The lower-bound statements live on Delta-regular trees; finite
+truncations (every internal node has degree exactly Delta, leaves at a
+chosen radius) stand in for them, as recorded in DESIGN.md.  The
+symmetric-port instances of Lemmas 12 and 15 — where the edge of color
+i carries port i at *both* endpoints — are realized by the Cayley graph
+of (Z_2)^Delta, whose natural 1-factorization has exactly that
+property.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sim.graph import Graph
+
+
+def path_graph(n: int) -> Graph:
+    """The path on ``n`` nodes."""
+    return Graph.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle on ``n >= 3`` nodes."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 nodes")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Graph.from_edges(n, edges)
+
+
+def star_graph(leaves: int) -> Graph:
+    """A star: node 0 joined to ``leaves`` leaves."""
+    if leaves < 1:
+        raise ValueError("a star needs at least one leaf")
+    return Graph.from_edges(leaves + 1, [(0, i) for i in range(1, leaves + 1)])
+
+
+def truncated_regular_tree(delta: int, radius: int) -> Graph:
+    """The Delta-regular tree truncated at distance ``radius`` from the root.
+
+    Every node at distance < ``radius`` has degree exactly ``delta``
+    (the root has ``delta`` children, other internal nodes
+    ``delta - 1``); nodes at distance ``radius`` are leaves.  For
+    ``radius = 0`` this is a single node.
+    """
+    if delta < 2:
+        raise ValueError("need delta >= 2")
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    edges: list[tuple[int, int]] = []
+    next_node = 1
+    frontier = [0]
+    for level in range(radius):
+        new_frontier = []
+        for node in frontier:
+            children = delta if level == 0 else delta - 1
+            for _ in range(children):
+                edges.append((node, next_node))
+                new_frontier.append(next_node)
+                next_node += 1
+        frontier = new_frontier
+    graph = Graph(next_node)
+    for u, v in edges:
+        graph.add_edge(u, v)
+    return graph
+
+
+def random_tree(n: int, rng: random.Random) -> Graph:
+    """A uniformly random labeled tree on ``n`` nodes (Pruefer decode)."""
+    if n < 1:
+        raise ValueError("need at least one node")
+    if n == 1:
+        return Graph(1)
+    if n == 2:
+        return Graph.from_edges(2, [(0, 1)])
+    sequence = [rng.randrange(n) for _ in range(n - 2)]
+    return _decode_pruefer(n, sequence)
+
+
+def _decode_pruefer(n: int, sequence: list[int]) -> Graph:
+    degree = [1] * n
+    for node in sequence:
+        degree[node] += 1
+    import heapq
+
+    leaves = [node for node in range(n) if degree[node] == 1]
+    heapq.heapify(leaves)
+    graph = Graph(n)
+    for node in sequence:
+        leaf = heapq.heappop(leaves)
+        graph.add_edge(leaf, node)
+        degree[node] -= 1
+        if degree[node] == 1:
+            heapq.heappush(leaves, node)
+    last_two = [heapq.heappop(leaves), heapq.heappop(leaves)]
+    graph.add_edge(last_two[0], last_two[1])
+    return graph
+
+
+def random_tree_bounded_degree(n: int, delta: int, rng: random.Random) -> Graph:
+    """A random tree with maximum degree at most ``delta``.
+
+    Random attachment: node i joins a uniformly random earlier node
+    that still has spare degree.  Not uniform over all bounded-degree
+    trees, but a natural workload for the algorithm experiments.
+    """
+    if delta < 2:
+        raise ValueError("need delta >= 2")
+    if n < 1:
+        raise ValueError("need at least one node")
+    graph = Graph(n)
+    available = [0] if n > 1 else []
+    degree = [0] * n
+    for node in range(1, n):
+        target = available[rng.randrange(len(available))]
+        graph.add_edge(node, target)
+        degree[node] += 1
+        degree[target] += 1
+        if degree[target] >= delta:
+            available.remove(target)
+        if degree[node] < delta:
+            available.append(node)
+        if not available:
+            raise ValueError(f"cannot fit {n} nodes with max degree {delta}")
+    return graph
+
+
+def torus_grid(rows: int, columns: int) -> Graph:
+    """The 4-regular toroidal grid with its natural 4-edge coloring.
+
+    Colors 0/1 are the two horizontal parities, colors 2/3 the vertical
+    ones — a proper 4-edge coloring whenever both dimensions are even.
+    Another Delta-regular, properly colored instance family for the
+    simulator experiments.
+    """
+    if rows < 3 or columns < 3:
+        raise ValueError("torus needs both dimensions >= 3")
+    graph = Graph(rows * columns)
+
+    def index(row: int, column: int) -> int:
+        return (row % rows) * columns + (column % columns)
+
+    for row in range(rows):
+        for column in range(columns):
+            right = index(row, column + 1)
+            down = index(row + 1, column)
+            if columns > 2:
+                graph.add_edge(index(row, column), right, color=column % 2)
+            if rows > 2:
+                graph.add_edge(index(row, column), down, color=2 + row % 2)
+    return graph
+
+
+def random_regular_graph(n: int, delta: int, rng: random.Random,
+                         max_attempts: int = 200) -> Graph:
+    """A random Delta-regular simple graph via the configuration model.
+
+    Pairs up node stubs uniformly and retries on self-loops or parallel
+    edges; for moderate n and Delta the acceptance probability is
+    constant, so a few attempts suffice.  These are the high-girth-ish
+    instances (girth concentrates around log n / log Delta) on which
+    Theorem 3's hypothesis is checked explicitly by the experiments.
+    """
+    if n * delta % 2:
+        raise ValueError("n * delta must be even")
+    if delta >= n:
+        raise ValueError("need delta < n")
+    for _ in range(max_attempts):
+        stubs = [node for node in range(n) for _ in range(delta)]
+        rng.shuffle(stubs)
+        pairs = [
+            (stubs[index], stubs[index + 1]) for index in range(0, len(stubs), 2)
+        ]
+        seen = set()
+        ok = True
+        for u, v in pairs:
+            key = (min(u, v), max(u, v))
+            if u == v or key in seen:
+                ok = False
+                break
+            seen.add(key)
+        if ok:
+            return Graph.from_edges(n, pairs)
+    raise RuntimeError(
+        f"no simple {delta}-regular graph found in {max_attempts} attempts"
+    )
+
+
+def complete_bipartite_graph(delta: int) -> Graph:
+    """K_{delta,delta} with the canonical proper Delta-edge coloring.
+
+    Left nodes are ``0 .. delta-1``, right nodes ``delta .. 2*delta-1``;
+    the edge {i, delta + j} gets color ``(i + j) mod delta`` (a
+    1-factorization).  Delta-regular, bipartite (so no label can clash
+    with itself across the bipartition), and properly colored — the
+    workhorse instance for exercising the Lemma 9 conversion on
+    solutions that actually use the A and C configurations.
+    """
+    if delta < 1:
+        raise ValueError("need delta >= 1")
+    graph = Graph(2 * delta)
+    for color in range(delta):
+        for i in range(delta):
+            j = (color - i) % delta
+            graph.add_edge(i, delta + j, color=color)
+    return graph
+
+
+def colored_port_cayley_graph(delta: int) -> Graph:
+    """The Lemma 12 / Lemma 15 hard instance family.
+
+    The Cayley graph of (Z_2)^delta with the standard generators:
+    nodes are binary vectors of length ``delta``; flipping bit i gives
+    the color-i neighbor.  Ports are assigned so that the color-i edge
+    uses port i at *both* endpoints, and the edge coloring (colors
+    ``0 .. delta-1``) is stored in the graph — so a 0-round algorithm
+    sees identical views everywhere, even given the coloring.
+    """
+    if delta < 1:
+        raise ValueError("need delta >= 1")
+    n = 1 << delta
+    graph = Graph(n)
+    # Add edges in color order: since add_edge assigns first-free ports
+    # and every node gains exactly one edge per color, port == color.
+    for color in range(delta):
+        for node in range(n):
+            other = node ^ (1 << color)
+            if node < other:
+                edge_id = graph.add_edge(node, other, color=color)
+                assert graph.endpoints(edge_id)[1] == color
+                assert graph.endpoints(edge_id)[3] == color
+    return graph

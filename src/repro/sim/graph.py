@@ -1,0 +1,235 @@
+"""Port-numbered graphs (paper, Sec. 2.1).
+
+Nodes are ``0 .. n-1``.  Every node numbers its incident edges with
+ports ``0 .. deg(v)-1`` (the paper uses 1-based ports; 0-based is an
+implementation convenience).  Each edge has an integer id, an optional
+color (for the Delta-edge-coloring input the paper exploits), and the
+two endpoints know each other's port, which matches the paper's
+technical convention that edges carry a port numbering as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class HalfEdge:
+    """What a node sees through one of its ports."""
+
+    neighbor: int
+    neighbor_port: int
+    edge_id: int
+
+
+class Graph:
+    """A simple undirected graph with port numbers and edge colors."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError("a graph needs at least one node")
+        self._n = n
+        self._adjacency: list[list[HalfEdge]] = [[] for _ in range(n)]
+        self._endpoints: list[tuple[int, int, int, int]] = []  # u, pu, v, pv
+        self._colors: list[int | None] = []
+
+    # -- construction -------------------------------------------------
+
+    def add_edge(self, u: int, v: int, color: int | None = None) -> int:
+        """Add the edge {u, v}; ports are assigned first-free.
+
+        Returns the edge id.  Self-loops and duplicate edges are
+        rejected (the formalism works on simple graphs).
+        """
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            raise ValueError(f"self-loop at node {u}")
+        if any(half.neighbor == v for half in self._adjacency[u]):
+            raise ValueError(f"duplicate edge {{{u}, {v}}}")
+        edge_id = len(self._endpoints)
+        port_u = len(self._adjacency[u])
+        port_v = len(self._adjacency[v])
+        self._adjacency[u].append(HalfEdge(v, port_v, edge_id))
+        self._adjacency[v].append(HalfEdge(u, port_u, edge_id))
+        self._endpoints.append((u, port_u, v, port_v))
+        self._colors.append(color)
+        return edge_id
+
+    @classmethod
+    def from_edges(cls, n: int, edges: Iterable[tuple[int, int]]) -> "Graph":
+        """Build a graph from an edge list."""
+        graph = cls(n)
+        for u, v in edges:
+            graph.add_edge(u, v)
+        return graph
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self._n:
+            raise ValueError(f"node {node} out of range [0, {self._n})")
+
+    # -- basic queries ------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return len(self._endpoints)
+
+    def degree(self, node: int) -> int:
+        """Number of incident edges of ``node``."""
+        self._check_node(node)
+        return len(self._adjacency[node])
+
+    def max_degree(self) -> int:
+        """The maximum degree Delta of the graph."""
+        return max(len(half_edges) for half_edges in self._adjacency)
+
+    def half_edges(self, node: int) -> list[HalfEdge]:
+        """The half-edges of ``node``, indexed by port."""
+        self._check_node(node)
+        return list(self._adjacency[node])
+
+    def neighbor(self, node: int, port: int) -> int:
+        """The node at the other end of ``port``."""
+        return self._half(node, port).neighbor
+
+    def neighbors(self, node: int) -> list[int]:
+        """All adjacent nodes, in port order."""
+        self._check_node(node)
+        return [half.neighbor for half in self._adjacency[node]]
+
+    def port_to(self, node: int, neighbor: int) -> int:
+        """The port of ``node`` leading to ``neighbor``."""
+        for port, half in enumerate(self._adjacency[node]):
+            if half.neighbor == neighbor:
+                return port
+        raise ValueError(f"{neighbor} is not adjacent to {node}")
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether {u, v} is an edge."""
+        self._check_node(u)
+        return any(half.neighbor == v for half in self._adjacency[u])
+
+    def edge_id(self, node: int, port: int) -> int:
+        """The id of the edge behind ``port`` of ``node``."""
+        return self._half(node, port).edge_id
+
+    def edges(self) -> Iterator[tuple[int, int, int]]:
+        """Yield ``(edge_id, u, v)`` for every edge."""
+        for edge_id, (u, _, v, _) in enumerate(self._endpoints):
+            yield edge_id, u, v
+
+    def endpoints(self, edge_id: int) -> tuple[int, int, int, int]:
+        """``(u, port_u, v, port_v)`` of the edge."""
+        return self._endpoints[edge_id]
+
+    def _half(self, node: int, port: int) -> HalfEdge:
+        self._check_node(node)
+        adjacency = self._adjacency[node]
+        if not 0 <= port < len(adjacency):
+            raise ValueError(f"port {port} out of range for node {node}")
+        return adjacency[port]
+
+    # -- edge colors ----------------------------------------------------
+
+    def set_edge_color(self, edge_id: int, color: int) -> None:
+        """Assign a color to the edge (the Delta-edge-coloring input)."""
+        self._colors[edge_id] = color
+
+    def edge_color(self, edge_id: int) -> int | None:
+        """The color of the edge, or ``None`` if uncolored."""
+        return self._colors[edge_id]
+
+    def color_at(self, node: int, port: int) -> int | None:
+        """The color of the edge behind ``port`` of ``node``."""
+        return self._colors[self._half(node, port).edge_id]
+
+    def is_fully_colored(self) -> bool:
+        """Whether every edge has a color."""
+        return all(color is not None for color in self._colors)
+
+    # -- port permutation ----------------------------------------------
+
+    def with_ports(self, port_maps: list[dict[int, int]]) -> "Graph":
+        """A copy with ports permuted per node.
+
+        ``port_maps[v]`` maps old ports of ``v`` to new ports and must
+        be a permutation of ``0 .. deg(v)-1``.
+        """
+        if len(port_maps) != self._n:
+            raise ValueError("need one port map per node")
+        for node, port_map in enumerate(port_maps):
+            expected = set(range(self.degree(node)))
+            if set(port_map) != expected or set(port_map.values()) != expected:
+                raise ValueError(f"port map of node {node} is not a permutation")
+        graph = Graph(self._n)
+        graph._adjacency = [
+            [HalfEdge(0, 0, 0)] * self.degree(node) for node in range(self._n)
+        ]
+        for edge_id, (u, pu, v, pv) in enumerate(self._endpoints):
+            new_pu = port_maps[u][pu]
+            new_pv = port_maps[v][pv]
+            graph._adjacency[u][new_pu] = HalfEdge(v, new_pv, edge_id)
+            graph._adjacency[v][new_pv] = HalfEdge(u, new_pu, edge_id)
+            graph._endpoints.append((u, new_pu, v, new_pv))
+            graph._colors.append(self._colors[edge_id])
+        return graph
+
+    # -- structure checks ------------------------------------------------
+
+    def is_connected(self) -> bool:
+        """Whether the graph is connected."""
+        seen = {0}
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            for half in self._adjacency[node]:
+                if half.neighbor not in seen:
+                    seen.add(half.neighbor)
+                    stack.append(half.neighbor)
+        return len(seen) == self._n
+
+    def is_tree(self) -> bool:
+        """Whether the graph is a tree."""
+        return self.m == self._n - 1 and self.is_connected()
+
+    def is_regular(self, delta: int | None = None) -> bool:
+        """Whether every node has the same degree (``delta`` if given)."""
+        degrees = {len(half_edges) for half_edges in self._adjacency}
+        if len(degrees) != 1:
+            return False
+        if delta is None:
+            return True
+        return degrees == {delta}
+
+    def girth(self) -> float:
+        """Length of the shortest cycle (``inf`` for forests).
+
+        BFS from every node; O(n * m), fine for test-sized graphs.
+        """
+        best = float("inf")
+        for root in range(self._n):
+            distance = {root: 0}
+            parent_edge = {root: -1}
+            queue = [root]
+            while queue:
+                next_queue = []
+                for node in queue:
+                    for half in self._adjacency[node]:
+                        if half.edge_id == parent_edge[node]:
+                            continue
+                        if half.neighbor in distance:
+                            cycle = distance[node] + distance[half.neighbor] + 1
+                            best = min(best, cycle)
+                        else:
+                            distance[half.neighbor] = distance[node] + 1
+                            parent_edge[half.neighbor] = half.edge_id
+                            next_queue.append(half.neighbor)
+                queue = next_queue
+        return best

@@ -1,0 +1,307 @@
+"""A synchronous message-passing runtime (paper, Sec. 2.1).
+
+Implements both models:
+
+* **LOCAL** — nodes know unique ids from ``{0, .., poly(n)}``, the
+  degree, Delta, and n; messages are arbitrary Python objects (the
+  model does not bound message size).
+* **PN** (port numbering) — identical, except the node view exposes no
+  id.  Model separation is structural: a PN algorithm cannot read an
+  id because the attribute raises.
+
+The runtime is deterministic given a seed: every node receives an
+independent ``random.Random`` stream derived from the seed and its
+index, matching the private random bit strings of the randomized
+models.
+
+Besides the message-passing interface there is a *full-information*
+runner, :func:`run_ball_algorithm`: since LOCAL allows unbounded
+messages, a T-round algorithm is equivalent to a function from
+T-radius neighborhoods to outputs (Sec. 2.1), and some of the paper's
+reductions (e.g. the 1-round conversion of Lemma 5) are most naturally
+written that way.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from collections.abc import Callable
+
+from repro.sim.graph import Graph
+
+
+class MessageTooLargeError(RuntimeError):
+    """A CONGEST message exceeded the per-edge bit budget."""
+
+
+def estimate_message_bits(message) -> int:
+    """A conservative bit-size estimate for CONGEST accounting.
+
+    Integers cost their bit length, booleans 1, floats 64, strings 8
+    bits per character; containers cost the sum of their items plus 8
+    bits of framing each.  ``None`` is free (absence of a message).
+    """
+    if message is None:
+        return 0
+    if isinstance(message, bool):
+        return 1
+    if isinstance(message, int):
+        return max(message.bit_length(), 1) + 1  # sign bit
+    if isinstance(message, float):
+        return 64
+    if isinstance(message, str):
+        return 8 * len(message)
+    if isinstance(message, (tuple, list, set, frozenset)):
+        return 8 + sum(estimate_message_bits(item) for item in message)
+    if isinstance(message, dict):
+        return 8 + sum(
+            estimate_message_bits(key) + estimate_message_bits(value)
+            for key, value in message.items()
+        )
+    raise TypeError(
+        f"cannot estimate CONGEST size of {type(message).__name__}"
+    )
+
+
+class NodeView:
+    """What a node initially knows, per Section 2.1.
+
+    Attributes:
+        degree: the node's own degree.
+        n: number of nodes in the graph (known in both models).
+        delta: the maximum degree of the graph.
+        edge_colors: color of the edge behind each port (``None`` when
+            the graph carries no coloring input).
+        input: arbitrary per-node problem input (or ``None``).
+        rng: the node's private random stream.
+    """
+
+    def __init__(
+        self,
+        node: int,
+        graph: Graph,
+        model: str,
+        rng: random.Random,
+        node_input=None,
+    ):
+        self._node = node
+        self._model = model
+        self.degree = graph.degree(node)
+        self.n = graph.n
+        self.delta = graph.max_degree()
+        self.edge_colors = [
+            graph.color_at(node, port) for port in range(self.degree)
+        ]
+        self.input = node_input
+        self.rng = rng
+
+    @property
+    def id(self) -> int:
+        """The node's unique identifier — LOCAL and CONGEST only."""
+        if self._model == "PN":
+            raise AttributeError("the PN model provides no identifiers")
+        return self._node
+
+    @property
+    def model(self) -> str:
+        """One of ``"LOCAL"``, ``"CONGEST"``, ``"PN"``."""
+        return self._model
+
+
+class Algorithm:
+    """Base class for synchronous distributed algorithms.
+
+    Lifecycle per node: ``init(view)`` once; then in every round the
+    runtime collects ``send()`` (a dict port -> message), delivers, and
+    calls ``receive(messages)`` with a dict port -> message holding the
+    messages that arrived (ports of silent or halted neighbors are
+    absent).  A node halts by returning ``True`` from ``receive`` — or
+    by ``init`` setting ``self.halted`` for 0-round algorithms.  After
+    halting, ``output()`` is read once.
+    """
+
+    halted: bool = False
+
+    def init(self, view: NodeView) -> None:
+        """Store the view and do round-0 (input-only) computation."""
+        self.view = view
+
+    def send(self) -> dict[int, object]:
+        """Messages to emit this round, keyed by port."""
+        return {}
+
+    def receive(self, messages: dict[int, object]) -> bool:
+        """Handle this round's messages; return True to halt."""
+        raise NotImplementedError
+
+    def output(self):
+        """The node's local output, read after halting."""
+        raise NotImplementedError
+
+
+@dataclass
+class RunResult:
+    """Outcome of a simulation run."""
+
+    outputs: list
+    rounds: int
+    halted: bool
+    per_node_rounds: list[int] = field(default_factory=list)
+
+
+def run(
+    graph: Graph,
+    algorithm_factory: Callable[[], Algorithm],
+    *,
+    model: str = "LOCAL",
+    seed: int = 0,
+    inputs: list | None = None,
+    max_rounds: int = 10_000,
+    message_bits: int | None = None,
+) -> RunResult:
+    """Run one algorithm instance per node, synchronously.
+
+    The round complexity reported is the number of communication
+    rounds until the last node halts (a node halting right in ``init``
+    contributes 0 rounds).  Raises ``RuntimeError`` when ``max_rounds``
+    is exceeded — distributed algorithms must terminate.
+
+    In the ``"CONGEST"`` model every message is size-checked against
+    ``message_bits`` (default ``32 * ceil(log2 n)``, i.e. O(log n));
+    oversized messages raise :class:`MessageTooLargeError`.  The paper's
+    lower bounds apply verbatim to CONGEST (Sec. 2.1), so CONGEST runs
+    of the upper-bound algorithms are directly comparable.
+    """
+    if model not in ("LOCAL", "PN", "CONGEST"):
+        raise ValueError(f"unknown model {model!r}")
+    bit_budget = message_bits
+    if model == "CONGEST" and bit_budget is None:
+        bit_budget = 32 * max((graph.n - 1).bit_length(), 1)
+    master = random.Random(seed)
+    node_seeds = [master.randrange(2**63) for _ in range(graph.n)]
+    algorithms = [algorithm_factory() for _ in range(graph.n)]
+    per_node_rounds = [0] * graph.n
+    for node, algorithm in enumerate(algorithms):
+        view = NodeView(
+            node,
+            graph,
+            model,
+            random.Random(node_seeds[node]),
+            inputs[node] if inputs is not None else None,
+        )
+        algorithm.init(view)
+    rounds = 0
+    while not all(algorithm.halted for algorithm in algorithms):
+        if rounds >= max_rounds:
+            raise RuntimeError(f"algorithm did not halt within {max_rounds} rounds")
+        rounds += 1
+        outboxes: list[dict[int, object]] = []
+        for node, algorithm in enumerate(algorithms):
+            outboxes.append({} if algorithm.halted else algorithm.send())
+        inboxes: list[dict[int, object]] = [{} for _ in range(graph.n)]
+        for node, outbox in enumerate(outboxes):
+            for port, message in outbox.items():
+                if bit_budget is not None:
+                    size = estimate_message_bits(message)
+                    if size > bit_budget:
+                        raise MessageTooLargeError(
+                            f"node {node} sent {size} bits on port {port}, "
+                            f"budget is {bit_budget} (round {rounds})"
+                        )
+                half = graph.half_edges(node)[port]
+                inboxes[half.neighbor][half.neighbor_port] = message
+        for node, algorithm in enumerate(algorithms):
+            if algorithm.halted:
+                continue
+            per_node_rounds[node] = rounds
+            if algorithm.receive(inboxes[node]):
+                algorithm.halted = True
+    outputs = [algorithm.output() for algorithm in algorithms]
+    return RunResult(
+        outputs=outputs,
+        rounds=max(per_node_rounds) if per_node_rounds else 0,
+        halted=True,
+        per_node_rounds=per_node_rounds,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Full-information (radius-T view) runner
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Ball:
+    """The radius-T view of a node: the subgraph it can learn in T rounds.
+
+    ``nodes`` lists the nodes of the ball (center first); views, ports,
+    colors and inputs are exposed through the original graph, which is
+    safe because a T-round LOCAL algorithm may depend on anything
+    within distance T.
+    """
+
+    center: int
+    radius: int
+    nodes: tuple[int, ...]
+    graph: Graph
+    inputs: tuple | None
+
+    def distance(self, node: int) -> int:
+        """Distance from the center to ``node`` inside the ball."""
+        distances = {self.center: 0}
+        queue = [self.center]
+        while queue:
+            current = queue.pop(0)
+            if current == node:
+                return distances[current]
+            if distances[current] == self.radius:
+                continue
+            for half in self.graph.half_edges(current):
+                if half.neighbor not in distances:
+                    distances[half.neighbor] = distances[current] + 1
+                    queue.append(half.neighbor)
+        if node in distances:
+            return distances[node]
+        raise ValueError(f"node {node} is outside the ball")
+
+
+def collect_ball(
+    graph: Graph, center: int, radius: int, inputs: list | None = None
+) -> Ball:
+    """The set of nodes within ``radius`` of ``center``, center first."""
+    seen = {center}
+    ordered = [center]
+    frontier = [center]
+    for _ in range(radius):
+        next_frontier = []
+        for node in frontier:
+            for half in graph.half_edges(node):
+                if half.neighbor not in seen:
+                    seen.add(half.neighbor)
+                    ordered.append(half.neighbor)
+                    next_frontier.append(half.neighbor)
+        frontier = next_frontier
+    return Ball(
+        center=center,
+        radius=radius,
+        nodes=tuple(ordered),
+        graph=graph,
+        inputs=tuple(inputs) if inputs is not None else None,
+    )
+
+
+def run_ball_algorithm(
+    graph: Graph,
+    radius: int,
+    decide: Callable[[Ball], object],
+    inputs: list | None = None,
+) -> list:
+    """Evaluate a radius-``radius`` view algorithm at every node.
+
+    ``decide`` maps a :class:`Ball` to the node's output.  This is the
+    "T-round algorithm = function of T-radius neighborhoods" reading of
+    the LOCAL model (Sec. 2.1).
+    """
+    return [
+        decide(collect_ball(graph, node, radius, inputs)) for node in range(graph.n)
+    ]

@@ -1,0 +1,116 @@
+"""Graph transformations: line graphs and induced subgraphs.
+
+The paper leans on line graphs twice (Sec. 1.1): the MIS of a line
+graph is a maximal matching, and a k-outdegree dominating set of a line
+graph is automatically an O(k)-degree dominating set.  Both claims are
+exercised experimentally (benchmark LINE), which needs an actual line
+graph constructor with a mapping back to the original edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.graph import Graph
+
+
+@dataclass
+class LineGraphResult:
+    """A line graph plus the correspondence to the base graph."""
+
+    graph: Graph
+    #: node index in the line graph -> edge id of the base graph
+    node_to_edge: list[int]
+    #: edge id of the base graph -> node index in the line graph
+    edge_to_node: dict[int, int]
+
+
+def line_graph(base: Graph) -> LineGraphResult:
+    """The line graph L(G): one node per edge, adjacency = shared endpoint.
+
+    If G has maximum degree Delta, L(G) has maximum degree at most
+    2 * (Delta - 1).
+    """
+    node_to_edge = [edge_id for edge_id, _, _ in base.edges()]
+    edge_to_node = {edge_id: index for index, edge_id in enumerate(node_to_edge)}
+    if not node_to_edge:
+        raise ValueError("the base graph has no edges")
+    result = Graph(len(node_to_edge))
+    for node in range(base.n):
+        incident = [half.edge_id for half in base.half_edges(node)]
+        for first_index in range(len(incident)):
+            for second_index in range(first_index + 1, len(incident)):
+                u = edge_to_node[incident[first_index]]
+                v = edge_to_node[incident[second_index]]
+                if not result.has_edge(u, v):
+                    result.add_edge(u, v)
+    return LineGraphResult(
+        graph=result, node_to_edge=node_to_edge, edge_to_node=edge_to_node
+    )
+
+
+def induced_subgraph(base: Graph, nodes) -> tuple[Graph, list[int]]:
+    """The subgraph induced by ``nodes``.
+
+    Returns ``(graph, index_to_original)``; isolated selected nodes are
+    kept.
+    """
+    ordered = sorted(set(nodes))
+    if not ordered:
+        raise ValueError("cannot induce on an empty node set")
+    position = {node: index for index, node in enumerate(ordered)}
+    result = Graph(len(ordered))
+    for _, u, v in base.edges():
+        if u in position and v in position:
+            result.add_edge(position[u], position[v])
+    return result, ordered
+
+
+def matching_from_line_graph_mis(
+    base: Graph, line: LineGraphResult, selected
+) -> set[int]:
+    """Translate an MIS of L(G) back to a matching of G (edge ids)."""
+    return {line.node_to_edge[node] for node in selected}
+
+
+def degeneracy_orientation(graph: Graph) -> tuple[dict[int, int], int]:
+    """An acyclic orientation minimizing the maximum outdegree.
+
+    Repeatedly removes a minimum-degree node; each removed node's
+    remaining edges point *away* from it (it is the tail).  The maximum
+    outdegree equals the graph's degeneracy, which is the optimum over
+    all acyclic orientations.  Returns ``(orientation, degeneracy)``
+    with ``orientation[edge_id] = head``.
+    """
+    remaining_degree = [graph.degree(node) for node in range(graph.n)]
+    removed = [False] * graph.n
+    orientation: dict[int, int] = {}
+    degeneracy = 0
+    for _ in range(graph.n):
+        node = min(
+            (candidate for candidate in range(graph.n) if not removed[candidate]),
+            key=lambda candidate: remaining_degree[candidate],
+        )
+        degeneracy = max(degeneracy, remaining_degree[node])
+        removed[node] = True
+        for half in graph.half_edges(node):
+            if not removed[half.neighbor]:
+                orientation[half.edge_id] = half.neighbor
+                remaining_degree[half.neighbor] -= 1
+    return orientation, degeneracy
+
+
+def is_maximal_matching(base: Graph, edge_ids) -> bool:
+    """Whether the edge set is a matching no edge can be added to."""
+    chosen = set(edge_ids)
+    covered: set[int] = set()
+    for edge_id in chosen:
+        u, _, v, _ = base.endpoints(edge_id)
+        if u in covered or v in covered:
+            return False  # not a matching
+        covered.add(u)
+        covered.add(v)
+    for edge_id, u, v in base.edges():
+        if edge_id not in chosen and u not in covered and v not in covered:
+            return False  # not maximal
+    return True

@@ -1,0 +1,257 @@
+"""Verifiers for every output object the paper discusses.
+
+Each verifier returns a :class:`VerificationResult` listing violations
+(empty list = valid output).  Experiments never trust an algorithm "by
+construction": every produced object is re-checked here against the
+independently-stated definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Mapping
+
+from repro.core.configurations import Configuration
+from repro.core.problem import Problem
+from repro.sim.graph import Graph
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of a verification: valid iff ``violations`` is empty."""
+
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the object verified cleanly."""
+        return not self.violations
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def add(self, message: str) -> None:
+        """Record one violation."""
+        self.violations.append(message)
+
+    def merge(self, other: "VerificationResult") -> "VerificationResult":
+        """Accumulate another result's violations."""
+        self.violations.extend(other.violations)
+        return self
+
+
+# ---------------------------------------------------------------------------
+# Set-based objects
+# ---------------------------------------------------------------------------
+
+def verify_independent_set(graph: Graph, selected: Iterable[int]) -> VerificationResult:
+    """No two selected nodes are adjacent."""
+    result = VerificationResult()
+    chosen = set(selected)
+    for _, u, v in graph.edges():
+        if u in chosen and v in chosen:
+            result.add(f"adjacent nodes {u} and {v} are both selected")
+    return result
+
+
+def verify_dominating_set(graph: Graph, selected: Iterable[int]) -> VerificationResult:
+    """Every unselected node has a selected neighbor."""
+    result = VerificationResult()
+    chosen = set(selected)
+    for node in range(graph.n):
+        if node in chosen:
+            continue
+        if not any(neighbor in chosen for neighbor in graph.neighbors(node)):
+            result.add(f"node {node} is not dominated")
+    return result
+
+
+def verify_mis(graph: Graph, selected: Iterable[int]) -> VerificationResult:
+    """Maximal independent set = independent + dominating (Sec. 1)."""
+    chosen = set(selected)
+    result = verify_independent_set(graph, chosen)
+    return result.merge(verify_dominating_set(graph, chosen))
+
+
+def _orientation_heads(
+    graph: Graph, orientation: Mapping[int, int]
+) -> VerificationResult:
+    result = VerificationResult()
+    for edge_id, head in orientation.items():
+        u, _, v, _ = graph.endpoints(edge_id)
+        if head not in (u, v):
+            result.add(f"edge {edge_id} oriented toward non-endpoint {head}")
+    return result
+
+
+def verify_k_outdegree_dominating_set(
+    graph: Graph,
+    selected: Iterable[int],
+    orientation: Mapping[int, int],
+    k: int,
+) -> VerificationResult:
+    """The paper's k-outdegree dominating set (Sec. 1).
+
+    ``selected`` is the set S; ``orientation`` maps each edge id of the
+    induced subgraph G[S] to the endpoint the edge points *toward*
+    (its head).  Requirements: S dominates G, every induced edge is
+    oriented, and every node of S has outdegree at most k in G[S].
+    """
+    chosen = set(selected)
+    result = verify_dominating_set(graph, chosen)
+    result.merge(_orientation_heads(graph, orientation))
+    outdegree = {node: 0 for node in chosen}
+    for edge_id, u, v in graph.edges():
+        if u in chosen and v in chosen:
+            if edge_id not in orientation:
+                result.add(f"induced edge {edge_id} ({u},{v}) is unoriented")
+                continue
+            head = orientation[edge_id]
+            tail = u if head == v else v
+            outdegree[tail] = outdegree.get(tail, 0) + 1
+    for node, degree in outdegree.items():
+        if degree > k:
+            result.add(f"node {node} has outdegree {degree} > k = {k}")
+    return result
+
+
+def verify_k_degree_dominating_set(
+    graph: Graph, selected: Iterable[int], k: int
+) -> VerificationResult:
+    """k-degree dominating set: S dominates and G[S] has max degree <= k."""
+    chosen = set(selected)
+    result = verify_dominating_set(graph, chosen)
+    induced_degree = {node: 0 for node in chosen}
+    for _, u, v in graph.edges():
+        if u in chosen and v in chosen:
+            induced_degree[u] += 1
+            induced_degree[v] += 1
+    for node, degree in induced_degree.items():
+        if degree > k:
+            result.add(f"node {node} has induced degree {degree} > k = {k}")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Colorings
+# ---------------------------------------------------------------------------
+
+def verify_proper_coloring(graph: Graph, colors: list) -> VerificationResult:
+    """Adjacent nodes get distinct colors."""
+    result = VerificationResult()
+    if len(colors) != graph.n:
+        result.add(f"expected {graph.n} colors, got {len(colors)}")
+        return result
+    for _, u, v in graph.edges():
+        if colors[u] == colors[v]:
+            result.add(f"edge ({u},{v}) is monochromatic with color {colors[u]}")
+    return result
+
+
+def verify_defective_coloring(
+    graph: Graph, colors: list, defect: int
+) -> VerificationResult:
+    """Each color class induces maximum degree at most ``defect``."""
+    result = VerificationResult()
+    if len(colors) != graph.n:
+        result.add(f"expected {graph.n} colors, got {len(colors)}")
+        return result
+    same_color_degree = [0] * graph.n
+    for _, u, v in graph.edges():
+        if colors[u] == colors[v]:
+            same_color_degree[u] += 1
+            same_color_degree[v] += 1
+    for node, degree in enumerate(same_color_degree):
+        if degree > defect:
+            result.add(
+                f"node {node} has {degree} same-color neighbors > defect {defect}"
+            )
+    return result
+
+
+def verify_arbdefective_coloring(
+    graph: Graph,
+    colors: list,
+    orientation: Mapping[int, int],
+    defect: int,
+) -> VerificationResult:
+    """Each color class, under ``orientation``, has outdegree <= defect.
+
+    ``orientation`` maps monochromatic edge ids to their head node.
+    """
+    result = VerificationResult()
+    if len(colors) != graph.n:
+        result.add(f"expected {graph.n} colors, got {len(colors)}")
+        return result
+    result.merge(_orientation_heads(graph, orientation))
+    outdegree = [0] * graph.n
+    for edge_id, u, v in graph.edges():
+        if colors[u] != colors[v]:
+            continue
+        if edge_id not in orientation:
+            result.add(f"monochromatic edge {edge_id} ({u},{v}) is unoriented")
+            continue
+        head = orientation[edge_id]
+        tail = u if head == v else v
+        outdegree[tail] += 1
+    for node, degree in enumerate(outdegree):
+        if degree > defect:
+            result.add(f"node {node} has outdegree {degree} > defect {defect}")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Generic LCL labelings
+# ---------------------------------------------------------------------------
+
+def verify_lcl(
+    graph: Graph,
+    problem: Problem,
+    labeling: Mapping[tuple[int, int], object],
+    *,
+    skip_non_full_degree_nodes: bool = False,
+) -> VerificationResult:
+    """Check a half-edge labeling against a (Sigma, N, E) problem.
+
+    ``labeling`` maps ``(node, port)`` to a label.  Every node's
+    multiset of incident labels must be an allowed node configuration
+    and every edge's label pair an allowed edge configuration
+    (Sec. 2.2).  With ``skip_non_full_degree_nodes`` the node
+    constraint is only enforced at nodes of degree exactly
+    ``problem.delta`` — used on truncated regular trees, where leaves
+    stand in for continuing branches of the infinite tree.
+    """
+    result = VerificationResult()
+    for node in range(graph.n):
+        degree = graph.degree(node)
+        labels = []
+        missing = False
+        for port in range(degree):
+            if (node, port) not in labeling:
+                result.add(f"half-edge ({node}, {port}) is unlabeled")
+                missing = True
+            else:
+                labels.append(labeling[(node, port)])
+        if missing:
+            continue
+        if degree != problem.delta:
+            if not skip_non_full_degree_nodes:
+                result.add(
+                    f"node {node} has degree {degree} != delta {problem.delta}"
+                )
+            continue
+        if Configuration(labels) not in problem.node_constraint:
+            rendered = Configuration(labels).render()
+            result.add(f"node {node} outputs disallowed configuration {rendered}")
+    for edge_id, u, v in graph.edges():
+        port_u = graph.endpoints(edge_id)[1]
+        port_v = graph.endpoints(edge_id)[3]
+        if (u, port_u) not in labeling or (v, port_v) not in labeling:
+            continue  # already reported above
+        pair = (labeling[(u, port_u)], labeling[(v, port_v)])
+        if not problem.edge_constraint.allows(pair):
+            result.add(
+                f"edge ({u},{v}) carries disallowed pair "
+                f"{Configuration(pair).render()}"
+            )
+    return result

@@ -1,0 +1,76 @@
+"""Radius-t views and indistinguishability in the port-numbering model.
+
+The bedrock of every PN lower bound — including Lemmas 12 and 15 — is
+that a t-round algorithm's output is a function of the node's *t-radius
+view*: the port-labeled (and edge-colored) tree unfolding of depth t.
+Two nodes with equal views must answer identically.
+
+:func:`view_signature` canonicalizes that unfolding into a hashable
+value, so indistinguishability becomes equality.  On the paper's
+symmetric-port instances *all* nodes share the 0-radius view (checked
+in the tests and used by Lemma 12); in fact the (Z_2)^Delta Cayley
+instance is vertex-transitive, so all views agree at *every* radius —
+the strongest possible indistinguishability.
+"""
+
+from __future__ import annotations
+
+from repro.sim.graph import Graph
+
+
+def view_signature(graph: Graph, node: int, radius: int):
+    """A canonical encoding of the radius-``radius`` PN view of ``node``.
+
+    The view is the unfolded tree: per port, the edge color (if any),
+    the port number at the far end, and recursively the neighbor's
+    view of depth ``radius - 1`` with the arrival port marked.  The
+    encoding contains no node identifiers, so equal signatures mean a
+    PN algorithm cannot distinguish the nodes within ``radius`` rounds.
+
+    Unfolding walks back and forth across edges exactly as the formal
+    definition does (the universal cover), so cycles shorter than
+    2 * radius + 1 do influence the view only through repetition
+    patterns — matching the high-girth discussions of Theorem 3.
+    """
+    return _unfold(graph, node, arrival_port=None, depth=radius)
+
+
+def _unfold(graph: Graph, node: int, arrival_port: int | None, depth: int):
+    if depth == 0:
+        return (graph.degree(node), arrival_port)
+    branches = []
+    for port, half in enumerate(graph.half_edges(node)):
+        color = graph.edge_color(half.edge_id)
+        child = _unfold(
+            graph,
+            half.neighbor,
+            arrival_port=half.neighbor_port,
+            depth=depth - 1,
+        )
+        branches.append((port, color, half.neighbor_port, child))
+    return (graph.degree(node), arrival_port, tuple(branches))
+
+
+def indistinguishable(graph: Graph, first: int, second: int, radius: int) -> bool:
+    """Whether two nodes have equal radius-``radius`` PN views."""
+    return view_signature(graph, first, radius) == view_signature(
+        graph, second, radius
+    )
+
+
+def view_classes(graph: Graph, radius: int) -> list[list[int]]:
+    """Partition the nodes into view-equality classes.
+
+    A deterministic t-round PN algorithm outputs one value per class;
+    the class structure therefore measures how much symmetry an
+    instance offers an adversary (one class = the algorithm is blind).
+    """
+    classes: dict = {}
+    for node in range(graph.n):
+        classes.setdefault(view_signature(graph, node, radius), []).append(node)
+    return sorted(classes.values())
+
+
+def is_vertex_transitive_up_to(graph: Graph, radius: int) -> bool:
+    """Whether all nodes share one view class at this radius."""
+    return len(view_classes(graph, radius)) == 1

@@ -1,0 +1,128 @@
+"""Tests for Cole-Vishkin and the Linial / slow color reductions."""
+
+import random
+
+import pytest
+
+from repro.algorithms.cole_vishkin import cv_iterations, run_cole_vishkin
+from repro.algorithms.color_reduction import (
+    linial_palette_size,
+    linial_parameters,
+    linial_step_color,
+    reduction_schedule,
+    run_full_coloring_pipeline,
+    run_linial_reduction,
+    run_slow_color_reduction,
+)
+from repro.analysis.bounds import log_star
+from repro.sim.generators import (
+    path_graph,
+    random_tree,
+    random_tree_bounded_degree,
+    truncated_regular_tree,
+)
+from repro.sim.verifiers import verify_proper_coloring
+
+
+class TestColeVishkin:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_three_coloring_on_random_trees(self, seed):
+        graph = random_tree(60, random.Random(seed))
+        result = run_cole_vishkin(graph)
+        assert verify_proper_coloring(graph, result.outputs).ok
+        assert set(result.outputs) <= {0, 1, 2}
+
+    def test_on_regular_tree(self):
+        graph = truncated_regular_tree(3, 4)
+        result = run_cole_vishkin(graph)
+        assert verify_proper_coloring(graph, result.outputs).ok
+
+    def test_on_path(self):
+        graph = path_graph(40)
+        result = run_cole_vishkin(graph)
+        assert verify_proper_coloring(graph, result.outputs).ok
+        assert set(result.outputs) <= {0, 1, 2}
+
+    def test_round_count_is_logstar_plus_constant(self):
+        graph = path_graph(200)
+        result = run_cole_vishkin(graph)
+        assert result.rounds == cv_iterations(200) + 6
+        assert result.rounds <= log_star(200) + 10
+
+    def test_cv_iterations_growth(self):
+        """cv_iterations grows like log*: tiny even for tower inputs."""
+        assert cv_iterations(6) == 0
+        assert cv_iterations(2**16) <= 5
+        assert cv_iterations(2**64) <= 6
+
+    def test_single_node(self):
+        from repro.sim.graph import Graph
+
+        result = run_cole_vishkin(Graph(1))
+        assert result.outputs == [0]
+
+    def test_two_nodes(self):
+        result = run_cole_vishkin(path_graph(2))
+        assert len(set(result.outputs)) == 2
+
+
+class TestLinialParameters:
+    def test_q_exceeds_d_delta(self):
+        for m in (100, 10_000, 10**6):
+            for delta in (3, 10, 50):
+                q, d = linial_parameters(m, delta)
+                assert q >= d * delta + 1
+                assert q ** (d + 1) >= m
+
+    def test_palette_shrinks_for_large_m(self):
+        assert linial_palette_size(10**6, 4) < 10**6
+
+    def test_schedule_reaches_fixed_point(self):
+        sizes = reduction_schedule(10**6, 4)
+        assert sizes[0] == 10**6
+        assert all(b < a for a, b in zip(sizes, sizes[1:]))
+        # Fixed point is polynomial in Delta, independent of m:
+        assert sizes[-1] <= (4 * 4 + 20) ** 2
+
+    def test_step_color_proper(self):
+        m, delta = 1000, 3
+        # A node colored 17 with neighbors 42, 999, 0:
+        color = linial_step_color(17, [42, 999, 0], m, delta)
+        assert 0 <= color < linial_palette_size(m, delta)
+
+
+class TestLinialOnGraphs:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_reduction_proper(self, seed):
+        graph = random_tree_bounded_degree(60, 4, random.Random(seed))
+        result = run_linial_reduction(graph)
+        assert verify_proper_coloring(graph, result.outputs).ok
+
+    def test_round_count_is_schedule_length(self):
+        graph = random_tree_bounded_degree(60, 4, random.Random(0))
+        result = run_linial_reduction(graph)
+        assert result.rounds == len(reduction_schedule(60, 4)) - 1
+
+
+class TestSlowReduction:
+    def test_reduces_to_delta_plus_one(self):
+        graph = random_tree_bounded_degree(50, 4, random.Random(2))
+        linial = run_linial_reduction(graph)
+        palette = reduction_schedule(50, 4)[-1]
+        result = run_slow_color_reduction(graph, linial.outputs, palette)
+        assert verify_proper_coloring(graph, result.outputs).ok
+        assert max(result.outputs) <= graph.max_degree()
+
+    def test_full_pipeline(self):
+        graph = truncated_regular_tree(3, 4)
+        colors, rounds = run_full_coloring_pipeline(graph)
+        assert verify_proper_coloring(graph, colors).ok
+        assert max(colors) <= 3
+        assert rounds > 0
+
+    def test_already_small_palette_is_zero_rounds(self):
+        graph = path_graph(5)
+        colors = [0, 1, 2, 0, 1]
+        result = run_slow_color_reduction(graph, colors, palette=3)
+        assert result.rounds == 0
+        assert result.outputs == colors

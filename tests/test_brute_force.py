@@ -1,0 +1,90 @@
+"""Tests for exhaustive deterministic-PN solvability on fixed instances."""
+
+import pytest
+
+from repro.problems.family import family_problem
+from repro.problems.mis import mis_problem
+from repro.sim.brute_force import (
+    class_output_options,
+    impossible_for_every_radius,
+    solvability_radius,
+    uniform_algorithm_exists,
+    witness_labeling,
+)
+from repro.sim.generators import (
+    colored_port_cayley_graph,
+    cycle_graph,
+    path_graph,
+)
+from repro.sim.verifiers import verify_lcl
+
+
+class TestOutputOptions:
+    def test_full_degree_permutations(self):
+        options = class_output_options(mis_problem(2), 2)
+        assert ("M", "M") in options
+        assert ("P", "O") in options and ("O", "P") in options
+        assert len(options) == 3
+
+    def test_lower_degree_unconstrained(self):
+        options = class_output_options(mis_problem(2), 1)
+        assert set(options) == {("M",), ("P",), ("O",)}
+
+
+class TestMisOnPaths:
+    def test_radius_zero_unsolvable(self):
+        assert not uniform_algorithm_exists(mis_problem(2), path_graph(4), 0)
+
+    def test_radius_one_solvable(self):
+        assert uniform_algorithm_exists(mis_problem(2), path_graph(4), 1)
+
+    def test_solvability_radius(self):
+        assert solvability_radius(mis_problem(2), path_graph(4)) == 1
+
+    def test_witness_is_valid(self):
+        witness = witness_labeling(mis_problem(2), path_graph(4), 1)
+        assert witness is not None
+        assert verify_lcl(
+            path_graph(4), mis_problem(2), witness,
+            skip_non_full_degree_nodes=True,
+        ).ok
+
+
+class TestSymmetricInstances:
+    """The Lemma 12 phenomenon, replayed on real networks."""
+
+    @pytest.mark.parametrize("radius", [0, 1, 2])
+    def test_family_unsolvable_on_cayley_at_any_radius(self, radius):
+        problem = family_problem(2, 1, 1)
+        graph = colored_port_cayley_graph(2)
+        assert not uniform_algorithm_exists(problem, graph, radius)
+
+    def test_impossibility_certificate(self):
+        problem = family_problem(3, 2, 1)
+        graph = colored_port_cayley_graph(3)
+        assert impossible_for_every_radius(problem, graph)
+
+    def test_certificate_needs_symmetry(self):
+        problem = family_problem(2, 1, 1)
+        assert not impossible_for_every_radius(problem, path_graph(4))
+
+    def test_certificate_needs_hard_problem(self):
+        # Pi(delta, 0, delta) is 0-round solvable (all-X): no certificate.
+        problem = family_problem(3, 0, 3)
+        graph = colored_port_cayley_graph(3)
+        assert not impossible_for_every_radius(problem, graph)
+
+    def test_mis_unsolvable_on_symmetric_cycle(self):
+        """A cycle with symmetric ports also defeats uniform algorithms
+        when its classes stay merged."""
+        problem = mis_problem(2)
+        graph = colored_port_cayley_graph(2)  # the 4-cycle, symmetric ports
+        assert not uniform_algorithm_exists(problem, graph, 1)
+
+
+class TestSearchGuard:
+    def test_limit_enforced(self):
+        problem = family_problem(3, 2, 1)
+        graph = cycle_graph(12)
+        with pytest.raises(RuntimeError):
+            uniform_algorithm_exists(problem, graph, 2, limit=10)

@@ -1,0 +1,83 @@
+"""Tests for the end-to-end lower-bound certificate and matching wrapper."""
+
+import random
+
+import pytest
+
+from repro.algorithms.matching import (
+    matching_size_lower_bound,
+    run_maximal_matching,
+)
+from repro.lowerbound.certificate import build_certificate
+from repro.sim.generators import (
+    cycle_graph,
+    random_tree_bounded_degree,
+    truncated_regular_tree,
+)
+
+
+class TestCertificate:
+    def test_small_delta_full_checks(self):
+        certificate = build_certificate(4, k=0)
+        assert certificate.ok, certificate.render()
+        assert "lemma8 direct Rbar" in certificate.checks
+        assert "lemma6 normal form" in certificate.checks
+        assert "lemma5 instance witness" in certificate.checks
+        # Delta = 4 is below the first chain step (a drops to 0): the
+        # certificate still validates all lemmas, with 0 certified rounds.
+        assert certificate.chain_length == 0
+
+    def test_medium_delta_skips_direct(self):
+        certificate = build_certificate(8, k=0)
+        assert certificate.ok, certificate.render()
+        assert "lemma8 direct Rbar" not in certificate.checks
+        assert "lemma8 case analysis" in certificate.checks
+        assert certificate.chain_length >= 1
+
+    def test_large_delta_arithmetic_only(self):
+        certificate = build_certificate(2**12, k=0)
+        assert certificate.ok
+        assert certificate.chain_length >= 3
+        assert certificate.deterministic_bound > 0
+        assert any("lemma8 direct" in name for name in certificate.skipped)
+
+    def test_k_weakens_the_certificate(self):
+        strong = build_certificate(2**12, k=0)
+        weak = build_certificate(2**12, k=256)
+        assert weak.chain_length <= strong.chain_length
+
+    def test_render_mentions_all_checks(self):
+        certificate = build_certificate(4, k=0)
+        text = certificate.render()
+        for name in certificate.checks:
+            assert name in text
+
+    @pytest.mark.parametrize("delta", [3, 4, 5])
+    def test_certificates_across_small_deltas(self, delta):
+        certificate = build_certificate(delta, k=0)
+        assert certificate.ok, certificate.render()
+
+
+class TestMatchingWrapper:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_maximal_matching_on_trees(self, seed):
+        graph = random_tree_bounded_degree(60, 4, random.Random(seed))
+        result = run_maximal_matching(graph, seed=seed)
+        assert len(result.edges) >= matching_size_lower_bound(graph)
+
+    def test_on_cycle(self):
+        graph = cycle_graph(9)
+        result = run_maximal_matching(graph, seed=1)
+        assert 3 <= len(result.edges) <= 4
+
+    def test_on_regular_tree(self):
+        graph = truncated_regular_tree(3, 3)
+        result = run_maximal_matching(graph, seed=2)
+        covered = result.covered_nodes(graph)
+        assert len(covered) == 2 * len(result.edges)
+
+    def test_rounds_reported(self):
+        graph = random_tree_bounded_degree(40, 4, random.Random(1))
+        result = run_maximal_matching(graph, seed=0)
+        assert result.rounds >= 1
+        assert result.line_nodes == graph.m

@@ -1,0 +1,89 @@
+"""Tests for the CONGEST model: bit accounting and algorithm fit."""
+
+import random
+
+import pytest
+
+from repro.algorithms.luby import LubyMIS
+from repro.sim.generators import path_graph, random_tree_bounded_degree
+from repro.sim.runtime import (
+    Algorithm,
+    MessageTooLargeError,
+    estimate_message_bits,
+    run,
+)
+from repro.sim.verifiers import verify_mis
+
+
+class TestBitEstimation:
+    def test_none_is_free(self):
+        assert estimate_message_bits(None) == 0
+
+    def test_bool(self):
+        assert estimate_message_bits(True) == 1
+
+    def test_int_scales_with_magnitude(self):
+        assert estimate_message_bits(1) <= 3
+        assert estimate_message_bits(2**40) >= 41
+
+    def test_float(self):
+        assert estimate_message_bits(3.14) == 64
+
+    def test_string(self):
+        assert estimate_message_bits("hello") == 40
+
+    def test_containers(self):
+        assert estimate_message_bits((1, 2)) > estimate_message_bits(1)
+        assert estimate_message_bits({"a": 1}) > 8
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            estimate_message_bits(object())
+
+
+class TestCongestRuns:
+    class SendId(Algorithm):
+        def send(self):
+            return {port: self.view.id for port in range(self.view.degree)}
+
+        def receive(self, messages):
+            self.seen = sorted(messages.values())
+            return True
+
+        def output(self):
+            return self.seen
+
+    class SendHuge(Algorithm):
+        def send(self):
+            return {port: "x" * 10_000 for port in range(self.view.degree)}
+
+        def receive(self, messages):
+            return True
+
+        def output(self):
+            return None
+
+    def test_ids_available_in_congest(self):
+        result = run(path_graph(3), self.SendId, model="CONGEST")
+        assert result.outputs[1] == [0, 2]
+
+    def test_small_messages_pass(self):
+        run(path_graph(5), self.SendId, model="CONGEST")
+
+    def test_huge_messages_rejected(self):
+        with pytest.raises(MessageTooLargeError):
+            run(path_graph(3), self.SendHuge, model="CONGEST")
+
+    def test_custom_budget(self):
+        with pytest.raises(MessageTooLargeError):
+            run(path_graph(3), self.SendId, model="CONGEST", message_bits=1)
+
+    def test_local_unbounded(self):
+        run(path_graph(3), self.SendHuge, model="LOCAL")
+
+    def test_luby_fits_in_congest(self):
+        """Luby's messages are one float + one bool: O(1) words."""
+        graph = random_tree_bounded_degree(60, 4, random.Random(0))
+        result = run(graph, LubyMIS, model="CONGEST", seed=1)
+        selected = {node for node in range(graph.n) if result.outputs[node]}
+        assert verify_mis(graph, selected).ok

@@ -1,0 +1,84 @@
+"""Unit tests for the Constraint container."""
+
+import pytest
+
+from repro.core.configurations import Configuration
+from repro.core.constraints import Constraint
+
+
+def mis_edges():
+    return Constraint.from_condensed(["M [PO]", "O O"])
+
+
+class TestConstruction:
+    def test_from_condensed_strings(self):
+        constraint = mis_edges()
+        assert len(constraint) == 3
+        assert Configuration("MP") in constraint
+        assert Configuration("MO") in constraint
+        assert Configuration("OO") in constraint
+
+    def test_mixed_arity_rejected(self):
+        with pytest.raises(ValueError):
+            Constraint([Configuration("MP"), Configuration("MPO")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Constraint([])
+
+    def test_from_condensed_accepts_parsed_objects(self):
+        from repro.core.configurations import parse_condensed
+
+        constraint = Constraint.from_condensed([parse_condensed("M M"), "O O"])
+        assert len(constraint) == 2
+
+
+class TestQueries:
+    def test_arity(self):
+        assert mis_edges().arity == 2
+
+    def test_labels_used(self):
+        assert mis_edges().labels_used() == {"M", "P", "O"}
+
+    def test_allows(self):
+        constraint = mis_edges()
+        assert constraint.allows(("P", "M"))  # order irrelevant
+        assert not constraint.allows(("M", "M"))
+        assert not constraint.allows(("P", "P"))
+
+    def test_configurations_containing(self):
+        containing_m = mis_edges().configurations_containing("M")
+        assert containing_m == {Configuration("MP"), Configuration("MO")}
+
+    def test_restrict_to(self):
+        restricted = mis_edges().restrict_to({"M", "O"})
+        assert set(restricted.configurations) == {
+            Configuration("MO"),
+            Configuration("OO"),
+        }
+
+    def test_rename(self):
+        renamed = mis_edges().rename({"M": "Z"})
+        assert Configuration("ZP") in renamed
+        assert Configuration("MP") not in renamed
+
+    def test_union(self):
+        left = Constraint.from_condensed(["M M"])
+        right = Constraint.from_condensed(["O O"])
+        merged = left.union(right)
+        assert len(merged) == 2
+
+    def test_union_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            Constraint.from_condensed(["M M"]).union(
+                Constraint.from_condensed(["M M M"])
+            )
+
+    def test_is_subset_of(self):
+        small = Constraint.from_condensed(["M O"])
+        assert small.is_subset_of(mis_edges())
+        assert not mis_edges().is_subset_of(small)
+
+    def test_iteration_is_sorted_and_stable(self):
+        rendered = [config.render() for config in mis_edges()]
+        assert rendered == sorted(rendered)

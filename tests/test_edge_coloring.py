@@ -1,0 +1,91 @@
+"""Tests for edge colorings and the coloring-aligned port numbering."""
+
+import random
+
+import pytest
+
+from repro.sim.edge_coloring import (
+    greedy_edge_coloring,
+    is_proper_edge_coloring,
+    ports_from_edge_coloring,
+    tree_edge_coloring,
+)
+from repro.sim.generators import (
+    colored_port_cayley_graph,
+    cycle_graph,
+    path_graph,
+    random_tree,
+    truncated_regular_tree,
+)
+
+
+class TestTreeEdgeColoring:
+    @pytest.mark.parametrize("delta,radius", [(3, 2), (4, 2), (3, 4)])
+    def test_regular_tree_uses_delta_colors(self, delta, radius):
+        graph = tree_edge_coloring(truncated_regular_tree(delta, radius))
+        assert is_proper_edge_coloring(graph)
+        used = {graph.edge_color(e) for e, _, _ in graph.edges()}
+        assert used <= set(range(delta))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_trees(self, seed):
+        graph = random_tree(40, random.Random(seed))
+        tree_edge_coloring(graph)
+        assert is_proper_edge_coloring(graph)
+
+    def test_path(self):
+        graph = tree_edge_coloring(path_graph(6))
+        assert is_proper_edge_coloring(graph)
+        assert {graph.edge_color(e) for e, _, _ in graph.edges()} <= {0, 1}
+
+    def test_too_few_colors_rejected(self):
+        with pytest.raises(ValueError):
+            tree_edge_coloring(truncated_regular_tree(3, 1), colors=2)
+
+    def test_non_tree_rejected(self):
+        with pytest.raises(ValueError):
+            tree_edge_coloring(cycle_graph(4))
+
+
+class TestGreedyEdgeColoring:
+    def test_cycle(self):
+        graph = greedy_edge_coloring(cycle_graph(6))
+        assert is_proper_edge_coloring(graph)
+
+    def test_color_bound(self):
+        graph = greedy_edge_coloring(truncated_regular_tree(4, 2))
+        colors = {graph.edge_color(e) for e, _, _ in graph.edges()}
+        assert max(colors) <= 2 * 4 - 2  # at most 2*Delta - 1 colors
+
+
+class TestIsProper:
+    def test_detects_conflict(self):
+        graph = path_graph(3)
+        graph.set_edge_color(0, 1)
+        graph.set_edge_color(1, 1)  # node 1 sees color 1 twice
+        assert not is_proper_edge_coloring(graph)
+
+    def test_uncolored_not_proper(self):
+        assert not is_proper_edge_coloring(path_graph(3))
+
+
+class TestPortsFromColoring:
+    def test_cayley_is_fixed_point(self):
+        graph = colored_port_cayley_graph(3)
+        aligned = ports_from_edge_coloring(graph)
+        for edge_id, _, _ in aligned.edges():
+            _, pu, _, pv = aligned.endpoints(edge_id)
+            assert pu == pv == aligned.edge_color(edge_id)
+
+    def test_requires_prefix_colors(self):
+        # A path colored 0,1 has a middle node with colors {0,1} but the
+        # endpoints have degree 1 and see color 1 -> not a 0-prefix.
+        graph = path_graph(3)
+        graph.set_edge_color(0, 0)
+        graph.set_edge_color(1, 1)
+        with pytest.raises(ValueError):
+            ports_from_edge_coloring(graph)
+
+    def test_requires_proper(self):
+        with pytest.raises(ValueError):
+            ports_from_edge_coloring(path_graph(3))

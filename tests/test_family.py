@@ -1,0 +1,119 @@
+"""Tests for the problem family Pi_Delta(a, x) and Pi+_Delta(a, x)."""
+
+import pytest
+
+from repro.core.configurations import Configuration
+from repro.problems.family import (
+    FAMILY_LABELS,
+    PI_REL_RENAMING,
+    family_plus_problem,
+    family_problem,
+    pi_rel_problem,
+)
+from repro.problems.mis import mis_problem
+
+
+class TestFamilyProblem:
+    def test_alphabet(self):
+        problem = family_problem(4, 2, 1)
+        assert tuple(problem.alphabet) == FAMILY_LABELS
+
+    def test_node_constraint_three_families(self):
+        problem = family_problem(5, 3, 2)
+        assert Configuration("MMMXX") in problem.node_constraint
+        assert Configuration("AAAXX") in problem.node_constraint
+        assert Configuration("POOOO") in problem.node_constraint
+        assert len(problem.node_constraint) == 3
+
+    def test_edge_constraint_forbidden_pairs(self):
+        problem = family_problem(4, 2, 1)
+        for pair in ("MM", "AA", "PP", "PA", "PO"):
+            assert not problem.edge_allows(pair[0], pair[1])
+
+    def test_edge_constraint_allowed_pairs(self):
+        problem = family_problem(4, 2, 1)
+        allowed = [
+            "MP", "MA", "MO", "MX",
+            "OA", "OO", "OX", "OM",
+            "PM", "PX",
+            "AM", "AO", "AX",
+            "XM", "XP", "XA", "XO", "XX",
+        ]
+        for pair in allowed:
+            assert problem.edge_allows(pair[0], pair[1]), pair
+
+    def test_x_equals_zero_gives_pure_independence(self):
+        problem = family_problem(4, 2, 0)
+        assert Configuration("MMMM") in problem.node_constraint
+
+    def test_boundary_x_equals_delta(self):
+        problem = family_problem(3, 2, 3)
+        assert Configuration("XXX") in problem.node_constraint
+
+    def test_boundary_a_equals_zero_merges_with_all_x(self):
+        # a = 0: the type-3 configuration becomes X^Delta.
+        problem = family_problem(3, 0, 3)
+        # Both the M-config (x = delta) and the A-config (a = 0) are X^3.
+        assert len(problem.node_constraint) == 2
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            family_problem(3, 4, 0)
+        with pytest.raises(ValueError):
+            family_problem(3, 0, 4)
+        with pytest.raises(ValueError):
+            family_problem(0, 0, 0)
+        with pytest.raises(ValueError):
+            family_problem(3, -1, 0)
+
+    def test_mis_relationship(self):
+        """Pi_Delta with x = 0 restricted to {M, P, O} is exactly MIS:
+        the family generalizes the Section 2.2 encoding."""
+        problem = family_problem(4, 2, 0)
+        mis = mis_problem(4)
+        restricted_nodes = problem.node_constraint.restrict_to({"M", "P", "O"})
+        restricted_edges = problem.edge_constraint.restrict_to({"M", "P", "O"})
+        assert restricted_nodes == mis.node_constraint
+        assert restricted_edges == mis.edge_constraint
+
+
+class TestFamilyPlusProblem:
+    def test_node_constraint_four_families(self):
+        problem = family_plus_problem(5, 4, 1)
+        assert Configuration("MMMXX") in problem.node_constraint  # M^(d-x-1) X^(x+1)
+        assert Configuration("CCCCX") in problem.node_constraint  # C^(d-x) X^x
+        assert Configuration("AAXXX") in problem.node_constraint  # A^(a-x-1) X^(d-a+x+1)
+        assert Configuration("POOOO") in problem.node_constraint
+        assert len(problem.node_constraint) == 4
+
+    def test_c_compatibility_matches_lemma9(self):
+        """Lemma 9: 'C is edge-compatible with [MAOX]' — and nothing else."""
+        problem = family_plus_problem(5, 4, 1)
+        assert problem.compatible_labels("C") == {"M", "A", "O", "X"}
+
+    def test_cc_forbidden(self):
+        problem = family_plus_problem(5, 4, 1)
+        assert not problem.edge_allows("C", "C")
+
+    def test_requires_lemma8_hypothesis(self):
+        with pytest.raises(ValueError):
+            family_plus_problem(5, 2, 1)  # a < x + 2
+
+    def test_shares_family_edge_constraint_on_old_labels(self):
+        plus = family_plus_problem(5, 4, 1)
+        plain = family_problem(5, 4, 1)
+        assert (
+            plus.edge_constraint.restrict_to(FAMILY_LABELS)
+            == plain.edge_constraint
+        )
+
+
+class TestPiRel:
+    def test_renaming_recovers_plus(self):
+        rel = pi_rel_problem(5, 4, 1)
+        plus = family_plus_problem(5, 4, 1)
+        assert rel.rename(PI_REL_RENAMING) == plus
+
+    def test_labels_are_the_six_right_closed_sets(self):
+        rel = pi_rel_problem(4, 3, 1)
+        assert set(rel.alphabet) == set(PI_REL_RENAMING)

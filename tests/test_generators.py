@@ -1,0 +1,183 @@
+"""Tests for graph generators."""
+
+import random
+
+import pytest
+
+from repro.sim.generators import (
+    colored_port_cayley_graph,
+    cycle_graph,
+    path_graph,
+    random_tree,
+    random_tree_bounded_degree,
+    star_graph,
+    truncated_regular_tree,
+)
+
+
+class TestBasicShapes:
+    def test_path(self):
+        graph = path_graph(5)
+        assert graph.n == 5 and graph.m == 4 and graph.is_tree()
+        assert graph.degree(0) == 1 and graph.degree(2) == 2
+
+    def test_cycle(self):
+        graph = cycle_graph(5)
+        assert graph.is_regular(2) and graph.girth() == 5
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_star(self):
+        graph = star_graph(4)
+        assert graph.degree(0) == 4 and graph.is_tree()
+
+
+class TestTruncatedRegularTree:
+    def test_single_node(self):
+        assert truncated_regular_tree(3, 0).n == 1
+
+    def test_radius_one_is_star(self):
+        graph = truncated_regular_tree(3, 1)
+        assert graph.n == 4 and graph.degree(0) == 3
+
+    @pytest.mark.parametrize("delta,radius", [(3, 2), (3, 3), (4, 2), (5, 2)])
+    def test_internal_nodes_have_degree_delta(self, delta, radius):
+        graph = truncated_regular_tree(delta, radius)
+        assert graph.is_tree()
+        degrees = sorted({graph.degree(v) for v in range(graph.n)})
+        assert degrees == [1, delta]
+        # Interior = all nodes within distance radius-1 of the root.
+        from repro.sim.runtime import collect_ball
+
+        interior = collect_ball(graph, 0, radius - 1).nodes
+        for node in interior:
+            assert graph.degree(node) == delta
+
+    def test_node_count(self):
+        # delta = 3, radius = 2: 1 + 3 + 3*2 = 10
+        assert truncated_regular_tree(3, 2).n == 10
+
+
+class TestRandomTrees:
+    @pytest.mark.parametrize("n", [1, 2, 3, 10, 50])
+    def test_random_tree_is_tree(self, n):
+        graph = random_tree(n, random.Random(7))
+        assert graph.n == n
+        if n > 1:
+            assert graph.is_tree()
+
+    def test_random_tree_deterministic_given_seed(self):
+        a = random_tree(20, random.Random(3))
+        b = random_tree(20, random.Random(3))
+        assert sorted((u, v) for _, u, v in a.edges()) == sorted(
+            (u, v) for _, u, v in b.edges()
+        )
+
+    @pytest.mark.parametrize("n,delta", [(10, 3), (50, 4), (100, 3)])
+    def test_bounded_degree_respected(self, n, delta):
+        graph = random_tree_bounded_degree(n, delta, random.Random(5))
+        assert graph.is_tree()
+        assert graph.max_degree() <= delta
+
+    def test_bounded_degree_single_node(self):
+        assert random_tree_bounded_degree(1, 3, random.Random(0)).n == 1
+
+
+class TestTorusGrid:
+    def test_regular(self):
+        from repro.sim.generators import torus_grid
+
+        graph = torus_grid(4, 6)
+        assert graph.n == 24
+        assert graph.is_regular(4)
+
+    def test_proper_coloring_for_even_dimensions(self):
+        from repro.sim.edge_coloring import is_proper_edge_coloring
+        from repro.sim.generators import torus_grid
+
+        assert is_proper_edge_coloring(torus_grid(4, 4))
+        assert is_proper_edge_coloring(torus_grid(6, 8))
+
+    def test_too_small_rejected(self):
+        import pytest as _pytest
+
+        from repro.sim.generators import torus_grid
+
+        with _pytest.raises(ValueError):
+            torus_grid(2, 5)
+
+    def test_girth_four(self):
+        from repro.sim.generators import torus_grid
+
+        assert torus_grid(4, 4).girth() == 4
+
+
+class TestRandomRegularGraph:
+    def test_regularity(self):
+        from repro.sim.generators import random_regular_graph
+
+        graph = random_regular_graph(20, 3, random.Random(1))
+        assert graph.is_regular(3)
+
+    @pytest.mark.parametrize("n,delta", [(10, 3), (16, 4), (30, 3)])
+    def test_various_sizes(self, n, delta):
+        from repro.sim.generators import random_regular_graph
+
+        graph = random_regular_graph(n, delta, random.Random(0))
+        assert graph.n == n
+        assert graph.m == n * delta // 2
+
+    def test_parity_rejected(self):
+        from repro.sim.generators import random_regular_graph
+
+        with pytest.raises(ValueError):
+            random_regular_graph(5, 3, random.Random(0))
+
+    def test_delta_too_large_rejected(self):
+        from repro.sim.generators import random_regular_graph
+
+        with pytest.raises(ValueError):
+            random_regular_graph(4, 4, random.Random(0))
+
+    def test_deterministic(self):
+        from repro.sim.generators import random_regular_graph
+
+        a = random_regular_graph(20, 3, random.Random(9))
+        b = random_regular_graph(20, 3, random.Random(9))
+        assert sorted((u, v) for _, u, v in a.edges()) == sorted(
+            (u, v) for _, u, v in b.edges()
+        )
+
+
+class TestCayleyInstance:
+    """The Lemma 12 / 15 hard instances: port == color at both ends."""
+
+    @pytest.mark.parametrize("delta", [1, 2, 3, 4])
+    def test_regular_and_colored(self, delta):
+        graph = colored_port_cayley_graph(delta)
+        assert graph.n == 2**delta
+        assert graph.is_regular(delta)
+        assert graph.is_fully_colored()
+
+    def test_port_equals_color_both_sides(self):
+        graph = colored_port_cayley_graph(3)
+        for edge_id, u, v in graph.edges():
+            _, port_u, _, port_v = graph.endpoints(edge_id)
+            color = graph.edge_color(edge_id)
+            assert port_u == port_v == color
+
+    def test_proper_coloring(self):
+        from repro.sim.edge_coloring import is_proper_edge_coloring
+
+        assert is_proper_edge_coloring(colored_port_cayley_graph(4))
+
+    def test_views_identical_everywhere(self):
+        """Every node sees the same 0-round view: ports and colors."""
+        graph = colored_port_cayley_graph(3)
+        views = {
+            tuple(graph.color_at(node, port) for port in range(3))
+            for node in range(graph.n)
+        }
+        assert len(views) == 1

@@ -1,0 +1,153 @@
+"""Unit tests for the port-numbered graph substrate."""
+
+import pytest
+
+from repro.sim.graph import Graph
+
+
+def triangle():
+    return Graph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+
+
+class TestConstruction:
+    def test_ports_assigned_first_free(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1)
+        graph.add_edge(0, 2)
+        assert graph.neighbor(0, 0) == 1
+        assert graph.neighbor(0, 1) == 2
+        assert graph.neighbor(1, 0) == 0
+
+    def test_half_edges_know_remote_port(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 1)
+        half = graph.half_edges(0)[0]
+        assert half.neighbor == 1
+        assert half.neighbor_port == 0
+        half = graph.half_edges(2)[0]
+        assert half.neighbor_port == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(2).add_edge(1, 1)
+
+    def test_duplicate_edge_rejected(self):
+        graph = Graph(2)
+        graph.add_edge(0, 1)
+        with pytest.raises(ValueError):
+            graph.add_edge(1, 0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(2).add_edge(0, 2)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(0)
+
+
+class TestQueries:
+    def test_degree_and_max_degree(self):
+        graph = Graph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        assert graph.degree(0) == 3
+        assert graph.degree(1) == 1
+        assert graph.max_degree() == 3
+
+    def test_port_to(self):
+        graph = triangle()
+        for node in range(3):
+            for neighbor in graph.neighbors(node):
+                port = graph.port_to(node, neighbor)
+                assert graph.neighbor(node, port) == neighbor
+
+    def test_port_to_missing(self):
+        graph = Graph.from_edges(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            graph.port_to(0, 2)
+
+    def test_has_edge(self):
+        graph = triangle()
+        assert graph.has_edge(0, 2)
+        assert not Graph.from_edges(3, [(0, 1)]).has_edge(0, 2)
+
+    def test_edges_and_endpoints_consistent(self):
+        graph = triangle()
+        for edge_id, u, v in graph.edges():
+            eu, pu, ev, pv = graph.endpoints(edge_id)
+            assert (eu, ev) == (u, v)
+            assert graph.neighbor(u, pu) == v
+            assert graph.neighbor(v, pv) == u
+
+    def test_bad_port_rejected(self):
+        with pytest.raises(ValueError):
+            triangle().neighbor(0, 5)
+
+
+class TestColors:
+    def test_color_roundtrip(self):
+        graph = Graph(2)
+        edge = graph.add_edge(0, 1, color=7)
+        assert graph.edge_color(edge) == 7
+        assert graph.color_at(0, 0) == 7
+        assert graph.color_at(1, 0) == 7
+
+    def test_uncolored_is_none(self):
+        graph = Graph.from_edges(2, [(0, 1)])
+        assert graph.edge_color(0) is None
+        assert not graph.is_fully_colored()
+
+    def test_set_edge_color(self):
+        graph = Graph.from_edges(2, [(0, 1)])
+        graph.set_edge_color(0, 3)
+        assert graph.is_fully_colored()
+
+
+class TestPortPermutation:
+    def test_with_ports_swaps(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1)
+        graph.add_edge(0, 2)
+        swapped = graph.with_ports([{0: 1, 1: 0}, {0: 0}, {0: 0}])
+        assert swapped.neighbor(0, 0) == 2
+        assert swapped.neighbor(0, 1) == 1
+        # remote ports stay consistent
+        assert swapped.half_edges(1)[0].neighbor_port == 1
+
+    def test_with_ports_preserves_colors(self):
+        graph = Graph(2)
+        graph.add_edge(0, 1, color=4)
+        permuted = graph.with_ports([{0: 0}, {0: 0}])
+        assert permuted.color_at(0, 0) == 4
+
+    def test_non_permutation_rejected(self):
+        graph = Graph.from_edges(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            graph.with_ports([{0: 1}, {0: 0}])
+
+
+class TestStructure:
+    def test_is_tree(self):
+        assert Graph.from_edges(4, [(0, 1), (1, 2), (1, 3)]).is_tree()
+        assert not triangle().is_tree()
+        assert not Graph.from_edges(4, [(0, 1), (2, 3)]).is_tree()
+
+    def test_is_connected(self):
+        assert triangle().is_connected()
+        assert not Graph.from_edges(3, [(0, 1)]).is_connected()
+
+    def test_is_regular(self):
+        assert triangle().is_regular()
+        assert triangle().is_regular(2)
+        assert not triangle().is_regular(3)
+        assert not Graph.from_edges(3, [(0, 1), (1, 2)]).is_regular()
+
+    def test_girth_triangle(self):
+        assert triangle().girth() == 3
+
+    def test_girth_tree_is_infinite(self):
+        assert Graph.from_edges(3, [(0, 1), (1, 2)]).girth() == float("inf")
+
+    def test_girth_four_cycle(self):
+        graph = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert graph.girth() == 4

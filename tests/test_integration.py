@@ -1,0 +1,104 @@
+"""Integration tests: the proof pipeline and the simulator, end to end."""
+
+import random
+
+import pytest
+
+from repro.algorithms.cole_vishkin import run_cole_vishkin
+from repro.algorithms.sweep import run_kods_sweep
+from repro.core.round_elimination import speedup
+from repro.core.solvability import zero_round_solvable_symmetric
+from repro.lowerbound.lemma5 import verify_lemma5
+from repro.lowerbound.lemma6 import verify_lemma6
+from repro.lowerbound.lemma8 import verify_lemma8_argument, verify_lemma8_direct
+from repro.lowerbound.lemma9 import verify_lemma9
+from repro.lowerbound.lemma11 import verify_lemma11
+from repro.lowerbound.lift import lower_bound_summary, verify_theorem14_premises
+from repro.lowerbound.sequence import lemma13_chain, verify_chain_arithmetic
+from repro.problems.family import family_problem
+from repro.sim.generators import (
+    complete_bipartite_graph,
+    truncated_regular_tree,
+)
+from repro.sim.verifiers import verify_k_outdegree_dominating_set
+
+
+class TestFullProofPipeline:
+    """Every lemma of Section 3, chained, for one concrete Delta."""
+
+    def test_delta_four_end_to_end(self):
+        delta, a, x = 4, 3, 1
+        # Lemma 6: the engine reproduces the normal form of R(Pi).
+        assert verify_lemma6(delta, a, x)
+        # Lemma 8: full Rbar(R(Pi)) relaxes into Pi_rel.
+        assert verify_lemma8_direct(delta, a, x)
+        # Lemma 8's symbolic argument agrees.
+        assert verify_lemma8_argument(delta, a, x).ok
+        # Lemma 9: convert an actual Pi+ solution (a >= 2x+1 holds).
+        graph = complete_bipartite_graph(delta)
+        labeling = {}
+        for node in range(delta):
+            for port in range(delta):
+                labeling[(node, port)] = "C" if port >= x else "X"
+        for node in range(delta, 2 * delta):
+            for port in range(delta):
+                labeling[(node, port)] = "A" if port < a - x - 1 else "X"
+        assert verify_lemma9(graph, labeling, delta, a, x).ok
+        # Lemma 11: monotone relaxation exists toward the next chain step.
+        assert verify_lemma11(delta, a, x, 1, x + 1)
+        # Lemma 12: nothing in range is 0-round solvable.
+        assert not zero_round_solvable_symmetric(family_problem(delta, a, x))
+
+    def test_chain_lift_consistency(self):
+        delta = 2**9
+        chain = lemma13_chain(delta, 0)
+        assert verify_chain_arithmetic(chain)
+        premises = verify_theorem14_premises(chain)
+        assert premises.ok
+        summary = lower_bound_summary(2**64, delta, 0)
+        assert summary["deterministic_rounds"] <= premises.chain_length
+        assert summary["randomized_rounds"] <= summary["deterministic_rounds"]
+
+    @pytest.mark.slow
+    def test_speedup_of_family_not_zero_round_trivial(self):
+        """Rbar(R(Pi_Delta(a, x))) itself is still not 0-round solvable —
+        the sequence does not collapse after one step."""
+        problem = family_problem(4, 3, 1)
+        stepped = speedup(problem).problem
+        assert not zero_round_solvable_symmetric(stepped)
+
+
+class TestSimulatorToProofBridge:
+    """Distributed outputs feed the proof-side conversions."""
+
+    def test_sweep_kods_into_lemma5_labeling(self):
+        graph = truncated_regular_tree(5, 3)
+        coloring = run_cole_vishkin(graph)
+        for k in (0, 1, 2):
+            sweep = run_kods_sweep(graph, coloring.outputs, 3, k)
+            assert verify_k_outdegree_dominating_set(
+                graph, sweep.selected, sweep.orientation, k
+            ).ok
+            result = verify_lemma5(
+                graph, sweep.selected, sweep.orientation, k, a=2
+            )
+            assert result.ok, result.violations
+
+    def test_random_trees_roundtrip(self):
+        for seed in range(3):
+            graph = truncated_regular_tree(4, 3)
+            coloring = run_cole_vishkin(graph)
+            sweep = run_kods_sweep(graph, coloring.outputs, 3, 1, root=seed)
+            assert verify_k_outdegree_dominating_set(
+                graph, sweep.selected, sweep.orientation, 1
+            ).ok
+
+    def test_lower_bound_does_not_contradict_upper_bound(self):
+        """The certified lower bound stays below the measured rounds of
+        the (input-assisted) upper-bound algorithm only because that
+        algorithm uses the rooting input — but both must be finite and
+        the lower bound must not exceed the trivial Delta + log* n."""
+        from repro.analysis.bounds import upper_bound_mis_bek
+
+        summary = lower_bound_summary(2**30, 2**6, 0)
+        assert summary["deterministic_rounds"] <= upper_bound_mis_bek(2**30, 2**6)

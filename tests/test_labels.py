@@ -1,0 +1,85 @@
+"""Unit tests for labels, alphabets, and name generation."""
+
+import pytest
+
+from repro.core.labels import (
+    Alphabet,
+    fresh_names,
+    render_label,
+    render_label_set,
+)
+
+
+class TestRendering:
+    def test_single_char(self):
+        assert render_label("M") == "M"
+
+    def test_multi_char_parenthesized(self):
+        assert render_label("MX") == "(MX)"
+
+    def test_frozenset_sorted(self):
+        assert render_label(frozenset("XM")) == "<MX>"
+
+    def test_nested_frozenset(self):
+        label = frozenset([frozenset("MX"), frozenset("O")])
+        rendered = render_label(label)
+        assert rendered.startswith("<") and rendered.endswith(">")
+
+    def test_label_set(self):
+        assert render_label_set(["P", "O"]) == "[OP]"
+
+    def test_label_set_multichar(self):
+        assert render_label_set(["MX", "O"]) == "[(MX)O]"
+
+
+class TestAlphabet:
+    def test_order_preserved(self):
+        alphabet = Alphabet("MPX")
+        assert alphabet.labels == ("M", "P", "X")
+        assert alphabet.index("P") == 1
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            Alphabet("MM")
+
+    def test_membership_and_length(self):
+        alphabet = Alphabet("MPO")
+        assert "M" in alphabet and "Z" not in alphabet
+        assert len(alphabet) == 3
+
+    def test_equality_ignores_order(self):
+        assert Alphabet("MPO") == Alphabet("OPM")
+        assert hash(Alphabet("MPO")) == hash(Alphabet("OPM"))
+
+    def test_sort_key_unknown_labels_last(self):
+        alphabet = Alphabet("MP")
+        ordered = sorted(["Z", "P", "M"], key=alphabet.sort_key)
+        assert ordered == ["M", "P", "Z"]
+
+    def test_union(self):
+        merged = Alphabet("MP").union(Alphabet("PO"))
+        assert set(merged) == {"M", "P", "O"}
+        assert len(merged) == 3
+
+    def test_repr_contains_labels(self):
+        assert "M" in repr(Alphabet("M"))
+
+
+class TestFreshNames:
+    def test_avoids_taken(self):
+        names = fresh_names(3, taken={"A", "B"})
+        assert names == ["C", "D", "E"]
+
+    def test_no_duplicates(self):
+        names = fresh_names(60)
+        assert len(set(names)) == 60
+
+    def test_falls_back_to_numbered(self):
+        import string
+
+        taken = set(string.ascii_uppercase + string.ascii_lowercase)
+        names = fresh_names(3, taken=taken)
+        assert names == ["L0", "L1", "L2"]
+
+    def test_zero(self):
+        assert fresh_names(0) == []

@@ -1,0 +1,79 @@
+"""Tests for Lemma 11: monotonicity of the family in (a, x)."""
+
+import pytest
+
+from repro.lowerbound.lemma11 import (
+    convert_labeling_lemma11,
+    verify_lemma11,
+    verify_lemma11_on_labeling,
+)
+from repro.problems.family import family_problem
+from repro.sim.generators import complete_bipartite_graph
+
+
+def bipartite_family_labeling(delta, a, x):
+    """A Pi_Delta(a, x) solution on K_{delta,delta}: left nodes use the
+    A configuration, right nodes the M configuration."""
+    graph = complete_bipartite_graph(delta)
+    labeling = {}
+    for node in range(delta):
+        for port in range(delta):
+            labeling[(node, port)] = "A" if port < a else "X"
+    for node in range(delta, 2 * delta):
+        for port in range(delta):
+            labeling[(node, port)] = "M" if port < delta - x else "X"
+    return graph, labeling
+
+
+class TestWitnesses:
+    @pytest.mark.parametrize(
+        "delta,a,x,a2,x2",
+        [(5, 4, 1, 2, 2), (5, 4, 1, 4, 1), (6, 6, 0, 1, 3), (4, 2, 1, 2, 2)],
+    )
+    def test_witness_exists(self, delta, a, x, a2, x2):
+        witnesses = verify_lemma11(delta, a, x, a2, x2)
+        source = family_problem(delta, a, x)
+        assert set(witnesses) == set(source.node_constraint.configurations)
+
+    def test_hypothesis_enforced(self):
+        with pytest.raises(ValueError):
+            verify_lemma11(5, 2, 2, 4, 2)  # a increases
+        with pytest.raises(ValueError):
+            verify_lemma11(5, 4, 2, 4, 1)  # x decreases
+
+
+class TestLabelingConversion:
+    @pytest.mark.parametrize(
+        "delta,a,x,a2,x2",
+        [(5, 4, 1, 2, 2), (6, 5, 0, 3, 1), (6, 5, 0, 1, 4)],
+    )
+    def test_converted_labeling_valid(self, delta, a, x, a2, x2):
+        graph, labeling = bipartite_family_labeling(delta, a, x)
+        result = verify_lemma11_on_labeling(graph, labeling, delta, a, x, a2, x2)
+        assert result.ok, result.violations
+
+    def test_counts_after_conversion(self):
+        delta, a, x, a2, x2 = 6, 5, 0, 3, 1
+        graph, labeling = bipartite_family_labeling(delta, a, x)
+        converted = convert_labeling_lemma11(graph, labeling, delta, a, x, a2, x2)
+        for node in range(delta):  # A-nodes now own a2 edges
+            labels = [converted[(node, port)] for port in range(delta)]
+            assert labels.count("A") == a2
+        for node in range(delta, 2 * delta):  # M-nodes now have x2 X
+            labels = [converted[(node, port)] for port in range(delta)]
+            assert labels.count("M") == delta - x2
+
+    def test_identity_conversion(self):
+        delta, a, x = 5, 3, 1
+        graph, labeling = bipartite_family_labeling(delta, a, x)
+        converted = convert_labeling_lemma11(graph, labeling, delta, a, x, a, x)
+        result = verify_lemma11_on_labeling(graph, labeling, delta, a, x, a, x)
+        assert result.ok
+        assert set(converted) == set(labeling)
+
+    def test_invalid_input_rejected(self):
+        delta, a, x = 5, 4, 1
+        graph, labeling = bipartite_family_labeling(delta, a, x)
+        labeling[(0, 0)] = "P"
+        with pytest.raises(ValueError):
+            verify_lemma11_on_labeling(graph, labeling, delta, a, x, 2, 2)

@@ -1,0 +1,88 @@
+"""Machine-checks of Lemma 8: Pi+ is one round easier than Pi."""
+
+import pytest
+
+from repro.core.configurations import parse_condensed
+from repro.lowerbound.lemma8 import (
+    condensed_admits_counts,
+    verify_lemma8_argument,
+    verify_lemma8_direct,
+)
+
+
+class TestDirectVerification:
+    """Full Rbar(R(Pi)) computation for small Delta."""
+
+    @pytest.mark.parametrize(
+        "delta,a,x",
+        [(3, 2, 0), (4, 3, 1), (4, 4, 2), (4, 2, 0)],
+    )
+    def test_all_configurations_relax_into_pi_rel(self, delta, a, x):
+        assert verify_lemma8_direct(delta, a, x)
+
+    @pytest.mark.slow
+    def test_delta_five(self):
+        assert verify_lemma8_direct(5, 3, 1)
+
+
+class TestPaperArgument:
+    """The paper's case analysis, executed as a checker."""
+
+    @pytest.mark.parametrize(
+        "delta,a,x",
+        [
+            (4, 3, 1),
+            (5, 3, 1),
+            (6, 4, 1),
+            (8, 6, 2),
+            (10, 7, 2),
+            (12, 9, 3),
+        ],
+    )
+    def test_all_facts_hold(self, delta, a, x):
+        report = verify_lemma8_argument(delta, a, x)
+        assert report.ok, report
+
+    def test_report_fields(self):
+        report = verify_lemma8_argument(5, 3, 1)
+        assert report.no_p_implies_mubq
+        assert report.no_u_implies_abpq
+        assert report.no_m_implies_ouabpq
+        assert report.no_b_implies_pq
+        assert report.no_a_implies_ubpq
+        assert report.no_m_p_u_configuration
+        assert report.no_a_u_b_configuration
+        assert report.pi_rel_sets_right_closed
+
+
+class TestCountingHelper:
+    def test_admits_simple(self):
+        condensed = parse_condensed("[AB]^3 [C]^2")
+        assert condensed_admits_counts(condensed, {"A": 3})
+        assert condensed_admits_counts(condensed, {"A": 2, "B": 1, "C": 2})
+        assert not condensed_admits_counts(condensed, {"A": 4})
+        assert not condensed_admits_counts(condensed, {"C": 3})
+
+    def test_admits_shared_groups(self):
+        # A and B compete for the same 2 slots.
+        condensed = parse_condensed("[AB]^2 [C]^2")
+        assert not condensed_admits_counts(condensed, {"A": 2, "B": 1})
+        assert condensed_admits_counts(condensed, {"A": 1, "B": 1})
+
+    def test_admits_overflow_arity(self):
+        condensed = parse_condensed("[AB]^2")
+        assert not condensed_admits_counts(condensed, {"A": 2, "B": 1})
+
+    def test_empty_requirements(self):
+        condensed = parse_condensed("[AB]^2")
+        assert condensed_admits_counts(condensed, {})
+
+    def test_zero_counts_ignored(self):
+        condensed = parse_condensed("[AB]^2")
+        assert condensed_admits_counts(condensed, {"A": 0, "C": 0})
+
+    def test_matching_requires_flow_not_greedy(self):
+        # C fits only the second group; a greedy fill of group 2 by B fails.
+        condensed = parse_condensed("[AB] [BC]")
+        assert condensed_admits_counts(condensed, {"B": 1, "C": 1})
+        assert not condensed_admits_counts(condensed, {"C": 2})

@@ -1,0 +1,121 @@
+"""Unit tests for the Problem triple (Sigma, N, E)."""
+
+import pytest
+
+from repro.core.configurations import Configuration
+from repro.core.problem import Problem
+from repro.problems.mis import mis_problem
+
+
+class TestConstruction:
+    def test_from_text_infers_alphabet(self):
+        problem = Problem.from_text(["M^3", "P O^2"], ["M [PO]", "O O"])
+        assert set(problem.alphabet) == {"M", "P", "O"}
+        assert problem.delta == 3
+
+    def test_edge_constraint_must_have_arity_two(self):
+        from repro.core.constraints import Constraint
+
+        with pytest.raises(ValueError):
+            Problem(
+                ["M"],
+                Constraint.from_condensed(["M^3"]),
+                Constraint.from_condensed(["M^3"]),
+            )
+
+    def test_labels_outside_alphabet_rejected(self):
+        from repro.core.constraints import Constraint
+
+        with pytest.raises(ValueError):
+            Problem(
+                ["M"],
+                Constraint.from_condensed(["M^2"]),
+                Constraint.from_condensed(["M Z"]),
+            )
+
+
+class TestQueries:
+    def test_edge_allows_is_symmetric(self):
+        problem = mis_problem(3)
+        assert problem.edge_allows("M", "P")
+        assert problem.edge_allows("P", "M")
+        assert not problem.edge_allows("M", "M")
+
+    def test_compatible_labels(self):
+        problem = mis_problem(3)
+        assert problem.compatible_labels("M") == {"P", "O"}
+        assert problem.compatible_labels("P") == {"M"}
+        assert problem.compatible_labels("O") == {"M", "O"}
+
+    def test_self_compatible_labels(self):
+        assert mis_problem(3).self_compatible_labels() == {"O"}
+
+    def test_used_labels(self):
+        assert mis_problem(4).used_labels() == {"M", "P", "O"}
+
+
+class TestNormalization:
+    def test_drops_node_only_labels(self):
+        # Z appears in the node constraint but on no edge: unusable.
+        problem = Problem.from_text(["M^2", "Z^2"], ["M M"])
+        normalized = problem.normalized()
+        assert set(normalized.alphabet) == {"M"}
+        assert len(normalized.node_constraint) == 1
+
+    def test_drops_cascading(self):
+        # Removing Z kills the only configuration using Y, removing Y too.
+        problem = Problem.from_text(["M^2", "Y Z"], ["M M", "Y M"])
+        normalized = problem.normalized()
+        assert set(normalized.alphabet) == {"M"}
+
+    def test_already_normalized_is_identity(self):
+        problem = mis_problem(3)
+        assert problem.normalized() == problem
+
+
+class TestRenamingAndIsomorphism:
+    def test_rename_roundtrip(self):
+        problem = mis_problem(3)
+        there = problem.rename({"M": "1", "P": "2", "O": "3"})
+        back = there.rename({"1": "M", "2": "P", "3": "O"})
+        assert back == problem
+
+    def test_rename_must_be_injective(self):
+        with pytest.raises(ValueError):
+            mis_problem(3).rename({"M": "O"})
+
+    def test_isomorphic_to_itself(self):
+        assert mis_problem(3).is_isomorphic(mis_problem(3))
+
+    def test_isomorphic_after_renaming(self):
+        problem = mis_problem(4)
+        renamed = problem.rename({"M": "a", "P": "b", "O": "c"})
+        mapping = problem.find_isomorphism(renamed)
+        assert mapping == {"M": "a", "P": "b", "O": "c"}
+
+    def test_not_isomorphic_with_different_structure(self):
+        mis = mis_problem(3)
+        other = Problem.from_text(["M^3", "P O^2"], ["M [PO]", "O O", "P P"])
+        assert not mis.is_isomorphic(other)
+
+    def test_not_isomorphic_across_delta(self):
+        assert not mis_problem(3).is_isomorphic(mis_problem(4))
+
+    def test_equality_ignores_name(self):
+        a = mis_problem(3)
+        b = Problem(a.alphabet, a.node_constraint, a.edge_constraint, name="other")
+        assert a == b
+
+
+class TestRendering:
+    def test_render_mentions_constraints(self):
+        text = mis_problem(3).render()
+        assert "node constraint" in text
+        assert "edge constraint" in text
+        assert "M^3" in text
+
+    def test_configuration_membership(self):
+        problem = mis_problem(3)
+        assert Configuration("MMM") in problem.node_constraint
+        assert Configuration("POO") in problem.node_constraint
+        assert Configuration("PPO") not in problem.node_constraint

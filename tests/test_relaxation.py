@@ -1,0 +1,145 @@
+"""Tests for relaxations (Definition 7) and 0-round reduction witnesses."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.configurations import Configuration
+from repro.core.relaxation import (
+    all_relax_into,
+    can_relax,
+    find_label_relabeling,
+    find_upgrade_reduction,
+    relaxation_witness,
+)
+from repro.problems.family import family_problem
+from repro.problems.mis import mis_problem
+
+
+def sets(*parts):
+    return Configuration([frozenset(part) for part in parts])
+
+
+class TestCanRelax:
+    def test_reflexive(self):
+        config = sets("M", "OX", "OX")
+        assert can_relax(config, config)
+
+    def test_pointwise_superset(self):
+        assert can_relax(sets("M", "O"), sets("MX", "OX"))
+
+    def test_needs_permutation(self):
+        # M fits only into the second slot, O only into the first.
+        assert can_relax(sets("M", "O"), sets("OX", "MX"))
+
+    def test_fails_when_no_matching(self):
+        assert not can_relax(sets("M", "M"), sets("MX", "O"))
+
+    def test_arity_mismatch(self):
+        assert not can_relax(sets("M"), sets("M", "M"))
+
+    def test_antisymmetric_on_distinct(self):
+        big = sets("MOX", "MOX")
+        small = sets("M", "O")
+        assert can_relax(small, big)
+        assert not can_relax(big, small)
+
+    def test_witness_permutation_valid(self):
+        source = sets("M", "O", "P")
+        target = sets("PX", "MX", "OX")
+        rho = relaxation_witness(source, target)
+        assert rho is not None
+        for i, label_set in enumerate(source.items):
+            assert label_set <= target.items[rho[i]]
+
+    def test_witness_none_when_impossible(self):
+        assert relaxation_witness(sets("M", "M"), sets("M", "O")) is None
+
+    @given(st.lists(st.sampled_from(["M", "O", "X", "MO", "OX", "MOX"]),
+                    min_size=1, max_size=4))
+    def test_relaxing_to_full_sets_always_works(self, parts):
+        source = Configuration([frozenset(part) for part in parts])
+        target = Configuration([frozenset("MOX")] * len(parts))
+        assert can_relax(source, target)
+
+    def test_all_relax_into(self):
+        sources = [sets("M", "O"), sets("O", "O")]
+        targets = [sets("MX", "OX"), sets("OX", "OX")]
+        assert all_relax_into(sources, targets)
+        assert not all_relax_into([sets("P", "P")], targets)
+
+
+class TestLabelRelabeling:
+    def test_identity_on_same_problem(self):
+        problem = mis_problem(3)
+        mapping = find_label_relabeling(problem, problem)
+        assert mapping is not None
+
+    def test_into_renamed_problem(self):
+        problem = mis_problem(3)
+        renamed = problem.rename({"M": "a", "P": "b", "O": "c"})
+        mapping = find_label_relabeling(problem, renamed)
+        assert mapping == {"M": "a", "P": "b", "O": "c"}
+
+    def test_no_map_into_harder_problem(self):
+        # MIS with Delta=3 cannot be relabeled into perfect matching:
+        # M^3 has no image (matching nodes need exactly one M).
+        from repro.problems.classic import perfect_matching_problem
+
+        assert find_label_relabeling(mis_problem(3), perfect_matching_problem(3)) is None
+
+    def test_delta_mismatch(self):
+        assert find_label_relabeling(mis_problem(3), mis_problem(4)) is None
+
+
+class TestCompareProblems:
+    def test_equivalent_after_renaming(self):
+        from repro.core.relaxation import compare_problems
+
+        problem = mis_problem(3)
+        renamed = problem.rename({"M": "a", "P": "b", "O": "c"})
+        assert compare_problems(problem, renamed) == "equivalent"
+
+    def test_restriction_is_easier(self):
+        """Pi with an extra always-allowed label is easier than without:
+        solutions of the smaller problem are solutions of the larger."""
+        from repro.core.problem import Problem
+        from repro.core.relaxation import compare_problems
+
+        strict = mis_problem(3)
+        relaxed = Problem.from_text(
+            ["M^3", "P O^2", "W^3"],
+            ["M [PO]", "O O", "W [MPOW]"],
+        )
+        assert compare_problems(strict, relaxed) == "first_easier"
+
+    def test_incomparable(self):
+        from repro.core.relaxation import compare_problems
+        from repro.problems.classic import (
+            perfect_matching_problem,
+            sinkless_orientation_problem,
+        )
+
+        outcome = compare_problems(
+            perfect_matching_problem(3), sinkless_orientation_problem(3)
+        )
+        assert outcome == "incomparable"
+
+
+class TestUpgradeReduction:
+    def test_lemma11_instance(self):
+        """Pi(5, 4, 1) upgrades into Pi(5, 2, 2): decrease a, increase x
+        (Lemma 11) — relabel surplus M and A edges to X."""
+        source = family_problem(5, 4, 1)
+        target = family_problem(5, 2, 2)
+        witnesses = find_upgrade_reduction(source, target)
+        assert witnesses is not None
+        assert set(witnesses) == set(source.node_constraint.configurations)
+
+    def test_wrong_direction_fails(self):
+        """Increasing a (or decreasing x) is not a 0-round upgrade."""
+        source = family_problem(5, 2, 2)
+        target = family_problem(5, 4, 1)
+        assert find_upgrade_reduction(source, target) is None
+
+    def test_same_problem_is_upgradable(self):
+        problem = family_problem(4, 2, 1)
+        assert find_upgrade_reduction(problem, problem) is not None

@@ -1,0 +1,201 @@
+"""Tests for the synchronous runtime and node views."""
+
+import pytest
+
+from repro.sim.generators import cycle_graph, path_graph, truncated_regular_tree
+from repro.sim.runtime import (
+    Algorithm,
+    collect_ball,
+    run,
+    run_ball_algorithm,
+)
+
+
+class EchoDegree(Algorithm):
+    """0-round algorithm: output the degree immediately."""
+
+    def init(self, view):
+        super().init(view)
+        self.halted = True
+
+    def output(self):
+        return self.view.degree
+
+
+class CountNeighbors(Algorithm):
+    """1-round algorithm: learn how many neighbors messaged."""
+
+    def send(self):
+        return {port: "hello" for port in range(self.view.degree)}
+
+    def receive(self, messages):
+        self.heard = len(messages)
+        return True
+
+    def output(self):
+        return self.heard
+
+
+class FloodMax(Algorithm):
+    """Flood the maximum id for a fixed number of rounds (LOCAL only)."""
+
+    def __init__(self, rounds):
+        self.rounds_left = rounds
+
+    def init(self, view):
+        super().init(view)
+        self.best = view.id
+
+    def send(self):
+        return {port: self.best for port in range(self.view.degree)}
+
+    def receive(self, messages):
+        for value in messages.values():
+            self.best = max(self.best, value)
+        self.rounds_left -= 1
+        return self.rounds_left == 0
+
+    def output(self):
+        return self.best
+
+
+class TestRun:
+    def test_zero_round_algorithm(self):
+        result = run(path_graph(4), EchoDegree)
+        assert result.rounds == 0
+        assert result.outputs == [1, 2, 2, 1]
+
+    def test_one_round_algorithm(self):
+        result = run(cycle_graph(5), CountNeighbors)
+        assert result.rounds == 1
+        assert result.outputs == [2] * 5
+
+    def test_flood_max_needs_diameter_rounds(self):
+        graph = path_graph(6)
+        partial = run(graph, lambda: FloodMax(2))
+        assert partial.rounds == 2
+        assert partial.outputs[0] == 2  # only ids within distance 2
+        full = run(graph, lambda: FloodMax(5))
+        assert full.outputs == [5] * 6
+
+    def test_max_rounds_enforced(self):
+        class Forever(Algorithm):
+            def receive(self, messages):
+                return False
+
+            def output(self):
+                return None
+
+        with pytest.raises(RuntimeError):
+            run(path_graph(2), Forever, max_rounds=10)
+
+    def test_pn_model_hides_ids(self):
+        class ReadId(Algorithm):
+            def init(self, view):
+                super().init(view)
+                self.halted = True
+
+            def output(self):
+                return self.view.id
+
+        with pytest.raises(AttributeError):
+            run(path_graph(2), ReadId, model="PN")
+
+    def test_local_model_exposes_ids(self):
+        class ReadId(Algorithm):
+            def init(self, view):
+                super().init(view)
+                self.halted = True
+
+            def output(self):
+                return self.view.id
+
+        result = run(path_graph(3), ReadId, model="LOCAL")
+        assert result.outputs == [0, 1, 2]
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            run(path_graph(2), EchoDegree, model="ASYNC")
+
+    def test_randomness_deterministic_given_seed(self):
+        class Coin(Algorithm):
+            def init(self, view):
+                super().init(view)
+                self.halted = True
+                self.value = view.rng.random()
+
+            def output(self):
+                return self.value
+
+        first = run(path_graph(5), Coin, seed=42).outputs
+        second = run(path_graph(5), Coin, seed=42).outputs
+        third = run(path_graph(5), Coin, seed=43).outputs
+        assert first == second
+        assert first != third
+
+    def test_node_streams_independent(self):
+        class Coin(Algorithm):
+            def init(self, view):
+                super().init(view)
+                self.halted = True
+                self.value = view.rng.random()
+
+            def output(self):
+                return self.value
+
+        outputs = run(path_graph(5), Coin, seed=1).outputs
+        assert len(set(outputs)) == 5
+
+    def test_inputs_reach_views(self):
+        class ReadInput(Algorithm):
+            def init(self, view):
+                super().init(view)
+                self.halted = True
+
+            def output(self):
+                return self.view.input
+
+        result = run(path_graph(3), ReadInput, inputs=["a", "b", "c"])
+        assert result.outputs == ["a", "b", "c"]
+
+    def test_view_exposes_edge_colors(self):
+        from repro.sim.edge_coloring import tree_edge_coloring
+
+        graph = tree_edge_coloring(path_graph(3))
+
+        class ReadColors(Algorithm):
+            def init(self, view):
+                super().init(view)
+                self.halted = True
+
+            def output(self):
+                return tuple(self.view.edge_colors)
+
+        result = run(graph, ReadColors)
+        assert result.outputs[1] in [(0, 1), (1, 0)]
+
+
+class TestBallRunner:
+    def test_ball_nodes(self):
+        graph = truncated_regular_tree(3, 2)
+        ball = collect_ball(graph, 0, 1)
+        assert set(ball.nodes) == {0, 1, 2, 3}
+        assert ball.nodes[0] == 0
+
+    def test_ball_distance(self):
+        graph = path_graph(5)
+        ball = collect_ball(graph, 2, 2)
+        assert ball.distance(2) == 0
+        assert ball.distance(0) == 2
+        with pytest.raises(ValueError):
+            collect_ball(graph, 0, 1).distance(4)
+
+    def test_run_ball_algorithm(self):
+        graph = path_graph(4)
+        sizes = run_ball_algorithm(graph, 1, lambda ball: len(ball.nodes))
+        assert sizes == [2, 3, 3, 2]
+
+    def test_radius_zero_ball(self):
+        graph = path_graph(3)
+        ball = collect_ball(graph, 1, 0)
+        assert ball.nodes == (1,)

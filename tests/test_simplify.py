@@ -1,0 +1,109 @@
+"""Tests for problem simplifications and iterated speedup."""
+
+import pytest
+
+from repro.core.problem import Problem
+from repro.core.simplify import (
+    equivalent_label_classes,
+    is_safe_removal,
+    iterate_speedup,
+    merge_equivalent_labels,
+    remove_label,
+)
+from repro.problems.classic import sinkless_orientation_problem
+from repro.problems.family import family_problem
+from repro.problems.mis import mis_problem
+
+
+def problem_with_twin_labels():
+    """Labels O and Z are fully interchangeable."""
+    return Problem.from_text(
+        ["M^3", "P [OZ]^2"],
+        ["M [POZ]", "[OZ] [OZ]"],
+    )
+
+
+class TestEquivalenceMerging:
+    def test_twin_labels_detected(self):
+        classes = equivalent_label_classes(problem_with_twin_labels())
+        assert frozenset({"O", "Z"}) in classes
+
+    def test_merge_recovers_mis(self):
+        merged = merge_equivalent_labels(problem_with_twin_labels())
+        assert merged.is_isomorphic(mis_problem(3))
+
+    def test_no_spurious_merges_in_family(self):
+        problem = family_problem(5, 3, 1)
+        classes = equivalent_label_classes(problem)
+        assert all(len(group) == 1 for group in classes)
+
+    def test_merge_is_idempotent(self):
+        merged = merge_equivalent_labels(problem_with_twin_labels())
+        assert merge_equivalent_labels(merged) == merged
+
+
+class TestLabelRemoval:
+    def test_remove_label_restricts(self):
+        problem = family_problem(4, 2, 1)
+        without_a = remove_label(problem, "A")
+        assert "A" not in set(without_a.alphabet)
+        assert all(
+            "A" not in config.support()
+            for config in without_a.node_constraint.configurations
+        )
+
+    def test_cannot_remove_last_label(self):
+        problem = Problem.from_text(["A^2"], ["A A"])
+        with pytest.raises(ValueError):
+            remove_label(problem, "A")
+
+    def test_safe_removal_weak_into_strong(self):
+        # In the family, X is at least as strong as M on edges; but on
+        # nodes M and X are not interchangeable, so removal of M is NOT
+        # safe — while removing a twin label is.
+        problem = problem_with_twin_labels()
+        assert is_safe_removal(problem, "Z", "O")
+        family = family_problem(4, 2, 1)
+        assert not is_safe_removal(family, "M", "X")
+
+
+class TestCertifiedUpperBound:
+    def test_free_problem_zero_rounds(self):
+        from repro.core.simplify import certified_upper_bound
+
+        problem = Problem.from_text(["[AB]^3"], ["[AB] [AB]"])
+        assert certified_upper_bound(problem) == 0
+
+    def test_sinkless_orientation_never_certifies(self):
+        from repro.core.simplify import certified_upper_bound
+
+        assert certified_upper_bound(
+            sinkless_orientation_problem(3), max_steps=2
+        ) is None
+
+    def test_mis_not_certified_within_two_steps(self):
+        """MIS needs Omega(log* n) rounds, so no finite PN certificate."""
+        from repro.core.simplify import certified_upper_bound
+
+        assert certified_upper_bound(mis_problem(2), max_steps=2) is None
+
+    def test_family_boundary_zero_rounds(self):
+        from repro.core.simplify import certified_upper_bound
+
+        assert certified_upper_bound(family_problem(3, 0, 3), max_steps=0) == 0
+
+
+class TestIteratedSpeedup:
+    def test_sinkless_orientation_fixed_point(self):
+        trajectory = iterate_speedup(sinkless_orientation_problem(3), max_steps=3)
+        assert trajectory.reached_fixed_point
+        assert trajectory.steps <= 3
+
+    def test_free_problem_immediately_fixed(self):
+        problem = Problem.from_text(["[AB]^3"], ["[AB] [AB]"])
+        trajectory = iterate_speedup(problem, max_steps=2)
+        assert trajectory.reached_fixed_point
+
+    def test_max_steps_respected(self):
+        trajectory = iterate_speedup(mis_problem(3), max_steps=1)
+        assert trajectory.steps == 1

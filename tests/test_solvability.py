@@ -1,0 +1,104 @@
+"""Zero-round solvability tests (Lemmas 12 and 15)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.problem import Problem
+from repro.core.solvability import (
+    lemma15_condition_holds,
+    randomized_zero_round_failure_bound,
+    zero_round_solvable_pn,
+    zero_round_solvable_symmetric,
+    zero_round_witness_pn,
+    zero_round_witness_symmetric,
+)
+from repro.problems.classic import (
+    coloring_problem,
+    perfect_matching_problem,
+    sinkless_orientation_problem,
+)
+from repro.problems.family import family_problem
+from repro.problems.mis import mis_problem
+
+
+class TestLemma12:
+    """Pi_Delta(a, x) is not 0-round solvable for x <= Delta-1, a >= 1."""
+
+    @pytest.mark.parametrize(
+        "delta,a,x",
+        [(3, 1, 0), (4, 2, 1), (5, 5, 4), (6, 1, 5), (4, 4, 3)],
+    )
+    def test_family_not_zero_round_solvable(self, delta, a, x):
+        problem = family_problem(delta, a, x)
+        assert not zero_round_solvable_symmetric(problem)
+        assert not zero_round_solvable_pn(problem)
+
+    def test_family_becomes_solvable_at_boundary(self):
+        """With x = Delta the configuration X^Delta is self-compatible:
+        the problem degenerates, matching Lemma 12's x <= Delta - 1."""
+        problem = family_problem(4, 1, 4)
+        assert zero_round_solvable_symmetric(problem)
+
+    def test_family_becomes_solvable_with_a_zero(self):
+        """With a = 0 the type-3 configuration is X^Delta, again
+        matching Lemma 12's requirement a >= 1."""
+        problem = family_problem(4, 0, 1)
+        assert zero_round_solvable_symmetric(problem)
+
+    def test_witness_configuration_reported(self):
+        problem = family_problem(4, 1, 4)
+        witness = zero_round_witness_symmetric(problem)
+        assert witness is not None
+        assert witness.support() <= problem.self_compatible_labels()
+
+    def test_mis_not_zero_round_solvable(self):
+        assert not zero_round_solvable_symmetric(mis_problem(3))
+        assert zero_round_witness_pn(mis_problem(3)) is None
+
+
+class TestGeneralPN:
+    def test_symmetric_weaker_than_general(self):
+        """A PN-solvable problem is symmetric-solvable (the instance
+        family is smaller), never conversely."""
+        for problem in [
+            mis_problem(3),
+            sinkless_orientation_problem(3),
+            perfect_matching_problem(3),
+            family_problem(4, 2, 1),
+        ]:
+            if zero_round_solvable_pn(problem):
+                assert zero_round_solvable_symmetric(problem)
+
+    def test_free_problem_solvable(self):
+        problem = Problem.from_text(["A^3"], ["A A"])
+        assert zero_round_solvable_pn(problem)
+        assert zero_round_solvable_symmetric(problem)
+
+    def test_sinkless_orientation_not_zero_round(self):
+        assert not zero_round_solvable_pn(sinkless_orientation_problem(3))
+
+    def test_coloring_not_zero_round(self):
+        assert not zero_round_solvable_pn(coloring_problem(3, 4))
+
+
+class TestLemma15:
+    def test_failure_bound_for_family(self):
+        """|N| = 3 configurations: failure probability >= 1/(3 Delta)^2."""
+        problem = family_problem(5, 3, 1)
+        bound = randomized_zero_round_failure_bound(problem)
+        assert bound == Fraction(1, (3 * 5) ** 2)
+
+    @pytest.mark.parametrize("delta", [3, 4, 5, 8, 16])
+    def test_bound_exceeds_one_over_delta8(self, delta):
+        problem = family_problem(delta, max(1, delta // 2), 1)
+        assert lemma15_condition_holds(problem)
+
+    def test_bound_zero_when_solvable(self):
+        problem = family_problem(4, 1, 4)
+        assert randomized_zero_round_failure_bound(problem) == 0
+        assert not lemma15_condition_holds(problem)
+
+    def test_bound_counts_configurations(self):
+        problem = mis_problem(4)  # 2 node configurations
+        assert randomized_zero_round_failure_bound(problem) == Fraction(1, (2 * 4) ** 2)

@@ -1,0 +1,160 @@
+"""Tests for line graphs, induced subgraphs, and the Sec. 1.1 claims."""
+
+import random
+
+import pytest
+
+from repro.algorithms.greedy import greedy_coloring, greedy_mis
+from repro.algorithms.sweep import run_kods_sweep
+from repro.sim.generators import (
+    cycle_graph,
+    path_graph,
+    random_tree_bounded_degree,
+    star_graph,
+    truncated_regular_tree,
+)
+from repro.sim.transform import (
+    degeneracy_orientation,
+    induced_subgraph,
+    is_maximal_matching,
+    line_graph,
+    matching_from_line_graph_mis,
+)
+from repro.sim.verifiers import verify_k_degree_dominating_set, verify_mis
+
+
+class TestLineGraph:
+    def test_path_line_graph_is_shorter_path(self):
+        result = line_graph(path_graph(5))
+        assert result.graph.n == 4
+        assert result.graph.m == 3
+        assert result.graph.is_tree()
+
+    def test_cycle_line_graph_is_cycle(self):
+        result = line_graph(cycle_graph(6))
+        assert result.graph.n == 6
+        assert result.graph.is_regular(2)
+        assert result.graph.girth() == 6
+
+    def test_star_line_graph_is_complete(self):
+        result = line_graph(star_graph(4))
+        assert result.graph.n == 4
+        assert result.graph.m == 6  # K_4
+
+    def test_degree_bound(self):
+        base = truncated_regular_tree(4, 3)
+        result = line_graph(base)
+        assert result.graph.max_degree() <= 2 * (base.max_degree() - 1)
+
+    def test_mapping_roundtrip(self):
+        base = truncated_regular_tree(3, 2)
+        result = line_graph(base)
+        for node, edge_id in enumerate(result.node_to_edge):
+            assert result.edge_to_node[edge_id] == node
+
+    def test_empty_base_rejected(self):
+        from repro.sim.graph import Graph
+
+        with pytest.raises(ValueError):
+            line_graph(Graph(3))
+
+
+class TestMisToMatching:
+    """MIS of L(G) = maximal matching of G (Sec. 1, Sec. 1.1)."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_on_random_trees(self, seed):
+        base = random_tree_bounded_degree(40, 4, random.Random(seed))
+        result = line_graph(base)
+        mis = greedy_mis(result.graph)
+        assert verify_mis(result.graph, mis).ok
+        matching = matching_from_line_graph_mis(base, result, mis)
+        assert is_maximal_matching(base, matching)
+
+    def test_non_matching_detected(self):
+        base = path_graph(4)
+        assert not is_maximal_matching(base, {0, 1})  # share node 1
+
+    def test_non_maximal_detected(self):
+        base = path_graph(5)
+        assert not is_maximal_matching(base, {0})  # edge (2,3)/(3,4) addable
+
+
+class TestKodsOnLineGraphs:
+    """Sec. 1.1: in a line graph, outdegree <= k implies degree O(k).
+
+    The paper's argument: among the d S-neighbors of an edge {u, v},
+    at least d/2 share one endpoint and hence form a clique with it; a
+    clique of size m forces some outdegree >= (m - 1) / 2.  So
+    max degree <= 4k + something small.  We check it empirically on
+    random subsets of line-graph nodes, using the degeneracy
+    orientation (which achieves the minimum possible max outdegree).
+    """
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_outdegree_k_implies_degree_4k(self, seed):
+        rng = random.Random(seed)
+        base = random_tree_bounded_degree(60, 5, rng)
+        result = line_graph(base)
+        selected = {
+            node for node in range(result.graph.n) if rng.random() < 0.6
+        }
+        if not selected:
+            pytest.skip("empty sample")
+        subgraph, _ = induced_subgraph(result.graph, selected)
+        _, k = degeneracy_orientation(subgraph)
+        max_degree = (
+            max(subgraph.degree(node) for node in range(subgraph.n))
+            if subgraph.n
+            else 0
+        )
+        assert max_degree <= 4 * k + 2
+
+    def test_mis_sweep_k0_on_line_graph(self):
+        base = random_tree_bounded_degree(50, 4, random.Random(3))
+        result = line_graph(base)
+        colors = greedy_coloring(result.graph)
+        palette = max(colors) + 1
+        sweep = run_kods_sweep(result.graph, colors, palette, 0)
+        check = verify_k_degree_dominating_set(result.graph, sweep.selected, k=0)
+        assert check.ok, check.violations
+
+
+class TestDegeneracyOrientation:
+    def test_tree_degeneracy_one(self):
+        graph = random_tree_bounded_degree(40, 4, random.Random(1))
+        orientation, degeneracy = degeneracy_orientation(graph)
+        assert degeneracy == 1
+        assert len(orientation) == graph.m
+
+    def test_cycle_degeneracy_two(self):
+        _, degeneracy = degeneracy_orientation(cycle_graph(7))
+        assert degeneracy == 2
+
+    def test_orientation_outdegree_bounded_by_degeneracy(self):
+        base = random_tree_bounded_degree(40, 5, random.Random(2))
+        graph = line_graph(base).graph
+        orientation, degeneracy = degeneracy_orientation(graph)
+        outdegree = [0] * graph.n
+        for edge_id, u, v in graph.edges():
+            head = orientation[edge_id]
+            tail = u if head == v else v
+            outdegree[tail] += 1
+        assert max(outdegree) <= degeneracy
+
+
+class TestInducedSubgraph:
+    def test_induced_path(self):
+        graph, mapping = induced_subgraph(path_graph(5), {1, 2, 3})
+        assert graph.n == 3
+        assert graph.m == 2
+        assert mapping == [1, 2, 3]
+
+    def test_isolated_nodes_kept(self):
+        graph, mapping = induced_subgraph(path_graph(5), {0, 2, 4})
+        assert graph.n == 3
+        assert graph.m == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            induced_subgraph(path_graph(3), set())

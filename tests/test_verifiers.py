@@ -1,0 +1,185 @@
+"""Tests for the output verifiers."""
+
+from repro.problems.mis import mis_problem
+from repro.sim.generators import cycle_graph, path_graph, star_graph
+from repro.sim.graph import Graph
+from repro.sim.verifiers import (
+    verify_arbdefective_coloring,
+    verify_defective_coloring,
+    verify_dominating_set,
+    verify_independent_set,
+    verify_k_degree_dominating_set,
+    verify_k_outdegree_dominating_set,
+    verify_lcl,
+    verify_mis,
+    verify_proper_coloring,
+)
+
+
+class TestSetVerifiers:
+    def test_independent_set(self):
+        graph = path_graph(4)
+        assert verify_independent_set(graph, {0, 2}).ok
+        assert not verify_independent_set(graph, {0, 1}).ok
+
+    def test_dominating_set(self):
+        graph = path_graph(4)
+        assert verify_dominating_set(graph, {1, 3}).ok
+        assert not verify_dominating_set(graph, {0}).ok
+
+    def test_mis(self):
+        graph = path_graph(5)
+        assert verify_mis(graph, {0, 2, 4}).ok
+        assert not verify_mis(graph, {0, 4}).ok  # node 2 undominated
+        assert not verify_mis(graph, {0, 1, 3}).ok  # not independent
+
+    def test_violation_messages(self):
+        result = verify_mis(path_graph(3), {0, 1})
+        assert any("adjacent" in message for message in result.violations)
+
+
+class TestKOutdegree:
+    def test_valid_with_orientation(self):
+        # Path 0-1-2-3, S = {1, 2}, edge (1,2) oriented toward 2.
+        graph = path_graph(4)
+        edge_12 = next(e for e, u, v in graph.edges() if {u, v} == {1, 2})
+        result = verify_k_outdegree_dominating_set(
+            graph, {1, 2}, {edge_12: 2}, k=1
+        )
+        assert result.ok
+
+    def test_outdegree_exceeded(self):
+        graph = star_graph(3)  # center 0
+        orientation = {}
+        for edge_id, u, v in graph.edges():
+            orientation[edge_id] = v if u == 0 else u  # all point away from 0
+        result = verify_k_outdegree_dominating_set(
+            graph, {0, 1, 2, 3}, orientation, k=2
+        )
+        assert not result.ok
+        assert any("outdegree 3" in message for message in result.violations)
+
+    def test_unoriented_induced_edge(self):
+        graph = path_graph(3)
+        result = verify_k_outdegree_dominating_set(graph, {0, 1}, {}, k=1)
+        assert not result.ok
+
+    def test_k_zero_is_mis(self):
+        graph = path_graph(5)
+        assert verify_k_outdegree_dominating_set(graph, {0, 2, 4}, {}, k=0).ok
+        assert not verify_k_outdegree_dominating_set(graph, {0, 4}, {}, k=0).ok
+
+    def test_bad_head_rejected(self):
+        graph = path_graph(2)
+        result = verify_k_outdegree_dominating_set(graph, {0, 1}, {0: 5}, k=1)
+        assert not result.ok
+
+
+class TestKDegree:
+    def test_valid(self):
+        graph = path_graph(4)
+        assert verify_k_degree_dominating_set(graph, {1, 2}, k=1).ok
+
+    def test_degree_exceeded(self):
+        graph = star_graph(3)
+        result = verify_k_degree_dominating_set(graph, {0, 1, 2, 3}, k=2)
+        assert not result.ok
+
+    def test_all_nodes_with_large_k(self):
+        graph = cycle_graph(5)
+        assert verify_k_degree_dominating_set(graph, set(range(5)), k=2).ok
+
+
+class TestColoringVerifiers:
+    def test_proper(self):
+        graph = path_graph(3)
+        assert verify_proper_coloring(graph, [0, 1, 0]).ok
+        assert not verify_proper_coloring(graph, [0, 0, 1]).ok
+
+    def test_length_mismatch(self):
+        assert not verify_proper_coloring(path_graph(3), [0, 1]).ok
+
+    def test_defective(self):
+        graph = path_graph(4)
+        assert verify_defective_coloring(graph, [0, 0, 1, 1], defect=1).ok
+        assert not verify_defective_coloring(graph, [0, 0, 0, 1], defect=1).ok
+
+    def test_arbdefective(self):
+        graph = path_graph(3)  # edges (0,1), (1,2), all same color
+        orientation = {0: 1, 1: 1}  # both edges point at node 1: outdeg <= 1
+        assert verify_arbdefective_coloring(
+            graph, [0, 0, 0], orientation, defect=1
+        ).ok
+        bad_orientation = {0: 0, 1: 2}  # node 1 pushes both edges out
+        assert not verify_arbdefective_coloring(
+            graph, [0, 0, 0], bad_orientation, defect=1
+        ).ok
+
+    def test_arbdefective_requires_orientation(self):
+        graph = path_graph(2)
+        assert not verify_arbdefective_coloring(graph, [0, 0], {}, defect=1).ok
+
+
+class TestLclVerifier:
+    def make_mis_labeling(self, graph, selected):
+        """Labels from an MIS per the Section 2.2 encoding."""
+        labeling = {}
+        for node in range(graph.n):
+            if node in selected:
+                for port in range(graph.degree(node)):
+                    labeling[(node, port)] = "M"
+            else:
+                pointer = next(
+                    port
+                    for port in range(graph.degree(node))
+                    if graph.neighbor(node, port) in selected
+                )
+                for port in range(graph.degree(node)):
+                    labeling[(node, port)] = "P" if port == pointer else "O"
+        return labeling
+
+    def test_valid_mis_labeling(self):
+        graph = cycle_graph(6)
+        problem = mis_problem(2)
+        labeling = self.make_mis_labeling(graph, {0, 2, 4})
+        assert verify_lcl(graph, problem, labeling).ok
+
+    def test_invalid_node_configuration(self):
+        graph = cycle_graph(6)
+        problem = mis_problem(2)
+        labeling = self.make_mis_labeling(graph, {0, 2, 4})
+        labeling[(1, 0)] = "O"  # node 1 now outputs O O
+        result = verify_lcl(graph, problem, labeling)
+        assert not result.ok
+
+    def test_invalid_edge_configuration(self):
+        graph = cycle_graph(4)
+        problem = mis_problem(2)
+        labeling = self.make_mis_labeling(graph, {0, 2})
+        labeling[(0, 0)] = "P"  # MIS node pretends to point
+        result = verify_lcl(graph, problem, labeling)
+        assert not result.ok
+
+    def test_missing_label_reported(self):
+        graph = cycle_graph(4)
+        problem = mis_problem(2)
+        labeling = self.make_mis_labeling(graph, {0, 2})
+        del labeling[(1, 0)]
+        result = verify_lcl(graph, problem, labeling)
+        assert any("unlabeled" in message for message in result.violations)
+
+    def test_skip_non_full_degree_nodes(self):
+        graph = path_graph(3)  # middle node degree 2, leaves degree 1
+        problem = mis_problem(2)
+        labeling = {
+            (0, 0): "P",
+            (1, 0): "M",
+            (1, 1): "M",
+            (2, 0): "P",
+        }
+        strict = verify_lcl(graph, problem, labeling)
+        assert not strict.ok
+        lenient = verify_lcl(
+            graph, problem, labeling, skip_non_full_degree_nodes=True
+        )
+        assert lenient.ok
