@@ -1,24 +1,79 @@
 """Run the whole lower-bound proof for chosen parameters.
 
 Run:  python examples/full_certificate.py [delta] [k]
+          [--checkpoint DIR] [--max-alphabet N] [--wall-clock S]
 
 Produces a :class:`LowerBoundCertificate`: the Section 2.4 roadmap
 executed end to end — chain arithmetic, Theorem 14 premises, Lemma 6's
 normal form, Lemma 8's case analysis (and, for Delta <= 5, the full
 Rbar computation), Lemma 9's conversion on a concrete instance, and
 the Lemma 5 witness — with the Theorem 1 numbers at the end.
+
+With ``--checkpoint DIR`` the build is restartable stage by stage: a
+killed run resumes from the last completed stage and renders a
+certificate byte-identical to an uninterrupted run.  With
+``--max-alphabet N`` the engine check runs under an alphabet budget
+and, when it trips, degrades the problem via automatic simplification
+— every degradation rung appears in the certificate's provenance.
 """
 
 import sys
 
 from repro.lowerbound.certificate import build_certificate
+from repro.robustness.budget import Budget
+from repro.robustness.checkpointing import CheckpointStore
+
+
+def _flag_value(argv: list[str], index: int) -> str:
+    if index + 1 >= len(argv):
+        raise SystemExit(f"error: {argv[index]} requires a value")
+    return argv[index + 1]
+
+
+def parse_arguments(argv: list[str]):
+    positional = []
+    checkpoint_dir = None
+    max_alphabet = None
+    wall_clock = None
+    index = 0
+    while index < len(argv):
+        argument = argv[index]
+        if argument == "--checkpoint":
+            checkpoint_dir = _flag_value(argv, index)
+            index += 1
+        elif argument == "--max-alphabet":
+            max_alphabet = int(_flag_value(argv, index))
+            index += 1
+        elif argument == "--wall-clock":
+            wall_clock = float(_flag_value(argv, index))
+            index += 1
+        elif argument.startswith("--"):
+            raise SystemExit(f"error: unknown option {argument}")
+        else:
+            positional.append(argument)
+        index += 1
+    delta = int(positional[0]) if positional else 8
+    k = int(positional[1]) if len(positional) > 1 else 0
+    return delta, k, checkpoint_dir, max_alphabet, wall_clock
 
 
 def main() -> None:
-    delta = int(sys.argv[1]) if len(sys.argv) > 1 else 8
-    k = int(sys.argv[2]) if len(sys.argv) > 2 else 0
-    certificate = build_certificate(delta, k)
+    delta, k, checkpoint_dir, max_alphabet, wall_clock = parse_arguments(
+        sys.argv[1:]
+    )
+    store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
+    budget = None
+    if max_alphabet is not None or wall_clock is not None:
+        budget = Budget(
+            max_alphabet=max_alphabet, wall_clock_seconds=wall_clock
+        )
+    certificate = build_certificate(delta, k, store=store, budget=budget)
     print(certificate.render())
+    if certificate.degraded:
+        print(
+            "note: some checks ran in a budget-degraded form; "
+            "see the provenance lines above"
+        )
     if not certificate.ok:
         raise SystemExit("certificate FAILED")
 

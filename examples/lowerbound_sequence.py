@@ -1,6 +1,7 @@
 """The Omega(log Delta) lower-bound chain of Lemma 13, end to end.
 
 Run:  python examples/lowerbound_sequence.py [delta] [k]
+          [--checkpoint DIR] [--max-chain-steps N] [--wall-clock S]
 
 Builds the sequence Pi_i = Pi_Delta(floor(Delta / 2^(3i)), k + i),
 checks every side condition (Corollary 10, Lemma 11's direction, the
@@ -8,6 +9,11 @@ checks every side condition (Corollary 10, Lemma 11's direction, the
 with the round-elimination engine when Delta is small enough, then
 lifts the chain through Theorem 14 into the Theorem 1 / Corollary 2
 numbers.
+
+With ``--checkpoint DIR`` the chain construction is restartable: the
+completed prefix is persisted after every step, so a killed run (a
+budget trip, a crash, Ctrl-C) resumes from where it stopped and
+produces output identical to an uninterrupted run.
 """
 
 import sys
@@ -19,18 +25,68 @@ from repro.lowerbound.lift import (
     lower_bound_summary,
     verify_theorem14_premises,
 )
-from repro.lowerbound.sequence import lemma13_chain, verify_chain_arithmetic
+from repro.lowerbound.sequence import run_chain, verify_chain_arithmetic
+from repro.robustness.budget import Budget
+from repro.robustness.checkpointing import CheckpointStore
+
+
+def _flag_value(argv: list[str], index: int) -> str:
+    if index + 1 >= len(argv):
+        raise SystemExit(f"error: {argv[index]} requires a value")
+    return argv[index + 1]
+
+
+def parse_arguments(argv: list[str]):
+    positional = []
+    checkpoint_dir = None
+    max_chain_steps = None
+    wall_clock = None
+    index = 0
+    while index < len(argv):
+        argument = argv[index]
+        if argument == "--checkpoint":
+            checkpoint_dir = _flag_value(argv, index)
+            index += 1
+        elif argument == "--max-chain-steps":
+            max_chain_steps = int(_flag_value(argv, index))
+            index += 1
+        elif argument == "--wall-clock":
+            wall_clock = float(_flag_value(argv, index))
+            index += 1
+        elif argument.startswith("--"):
+            raise SystemExit(f"error: unknown option {argument}")
+        else:
+            positional.append(argument)
+        index += 1
+    delta = int(positional[0]) if positional else 2**9
+    k = int(positional[1]) if len(positional) > 1 else 0
+    return delta, k, checkpoint_dir, max_chain_steps, wall_clock
 
 
 def main() -> None:
-    delta = int(sys.argv[1]) if len(sys.argv) > 1 else 2**9
-    k = int(sys.argv[2]) if len(sys.argv) > 2 else 0
+    delta, k, checkpoint_dir, max_chain_steps, wall_clock = parse_arguments(
+        sys.argv[1:]
+    )
+    store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
+    budget = None
+    if max_chain_steps is not None or wall_clock is not None:
+        budget = Budget(
+            max_chain_steps=max_chain_steps, wall_clock_seconds=wall_clock
+        )
 
-    chain = lemma13_chain(delta, k)
+    result = run_chain(delta, k, store=store, budget=budget)
+    chain = result.chain
     print(f"Lemma 13 chain for Delta = {delta}, k = {k}:")
     for step in chain:
         print("  " + step.render())
     print(f"chain length (certified PN rounds): {len(chain) - 1}")
+    if result.resumed_from_step is not None:
+        print(
+            f"(resumed from checkpoint: steps 0..{result.resumed_from_step - 1} "
+            "were already on disk)"
+        )
+    for entry in result.provenance:
+        print(f"(provenance) {entry}")
     print()
 
     print("checking chain arithmetic (Cor. 10 + Lemma 11 + Lemma 12)...")

@@ -18,6 +18,10 @@ Subpackages
     Upper-bound distributed algorithms (Luby, color reduction, sweeps).
 ``repro.analysis``
     Numeric bound formulas and the table builders behind EXPERIMENTS.md.
+``repro.robustness``
+    Resource governance: budgets with cooperative checkpoints, typed
+    failures, checkpoint/resume stores, and graceful degradation via
+    simplification.
 """
 
 __version__ = "1.0.0"

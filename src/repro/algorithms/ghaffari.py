@@ -11,6 +11,8 @@ actual round counts on trees (benchmark MIS-ALGS).
 
 from __future__ import annotations
 
+import random
+
 from repro.sim.graph import Graph
 from repro.sim.runtime import Algorithm, RunResult, run
 
@@ -65,6 +67,23 @@ class GhaffariMIS(Algorithm):
         return self.state == "in"
 
 
-def run_ghaffari_mis(graph: Graph, seed: int = 0, max_rounds: int = 10_000) -> RunResult:
-    """Run the Ghaffari-style MIS; outputs are per-node booleans."""
-    return run(graph, GhaffariMIS, model="PN", seed=seed, max_rounds=max_rounds)
+def run_ghaffari_mis(
+    graph: Graph,
+    seed: int = 0,
+    max_rounds: int = 10_000,
+    rng: random.Random | None = None,
+) -> RunResult:
+    """Run the Ghaffari-style MIS; outputs are per-node booleans.
+
+    All randomness flows from the injectable ``rng`` (or a fresh
+    ``random.Random(seed)``) through the runtime's per-node streams —
+    never the module-level global — so runs are reproducible.
+    """
+    return run(
+        graph,
+        GhaffariMIS,
+        model="PN",
+        seed=seed,
+        rng=rng,
+        max_rounds=max_rounds,
+    )

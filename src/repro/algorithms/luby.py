@@ -12,6 +12,8 @@ the cleanest to implement exactly; ties are broken by redrawing — with
 
 from __future__ import annotations
 
+import random
+
 from repro.sim.graph import Graph
 from repro.sim.runtime import Algorithm, RunResult, run
 
@@ -65,6 +67,18 @@ class LubyMIS(Algorithm):
         return self.state == "in"
 
 
-def run_luby_mis(graph: Graph, seed: int = 0, max_rounds: int = 10_000) -> RunResult:
-    """Run Luby's MIS on ``graph``; outputs are per-node booleans."""
-    return run(graph, LubyMIS, model="PN", seed=seed, max_rounds=max_rounds)
+def run_luby_mis(
+    graph: Graph,
+    seed: int = 0,
+    max_rounds: int = 10_000,
+    rng: random.Random | None = None,
+) -> RunResult:
+    """Run Luby's MIS on ``graph``; outputs are per-node booleans.
+
+    All randomness flows from the injectable ``rng`` (or a fresh
+    ``random.Random(seed)``) through the runtime's per-node streams —
+    never the module-level global — so runs are reproducible.
+    """
+    return run(
+        graph, LubyMIS, model="PN", seed=seed, rng=rng, max_rounds=max_rounds
+    )

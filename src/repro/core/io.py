@@ -4,15 +4,26 @@ The text format mirrors the paper's listings and the round-eliminator
 tool's input: node configurations one per line, a blank line, then edge
 configurations.  Multi-character labels are parenthesized.  JSON keeps
 the structure explicit for tooling.
+
+This module also provides the on-disk checkpoint primitives used by
+:mod:`repro.robustness.checkpointing`: atomic JSON writes (temp file +
+rename, so a kill mid-write never leaves a half-written checkpoint)
+sealed with a SHA-256 digest of the canonical payload, and reads that
+raise :class:`~repro.robustness.errors.CheckpointCorrupt` on any
+tampering, truncation, or parse failure.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import tempfile
 
 from repro.core.configurations import Configuration
 from repro.core.labels import render_label
 from repro.core.problem import Problem
+from repro.robustness.errors import CheckpointCorrupt
 
 
 def problem_to_text(problem: Problem) -> str:
@@ -84,6 +95,82 @@ def problem_from_json(text: str) -> Problem:
     )
 
 
+# ---------------------------------------------------------------------------
+# Checkpoint files: atomic, integrity-sealed JSON
+# ---------------------------------------------------------------------------
+
+def canonical_json(payload) -> str:
+    """Canonical (sorted-key, minimal-separator) JSON for hashing."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def payload_digest(payload) -> str:
+    """The SHA-256 hex digest of the canonical JSON of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def write_json_checkpoint(path, payload) -> None:
+    """Atomically write ``payload`` to ``path`` with an integrity seal.
+
+    The document is ``{"sha256": <digest>, "payload": <payload>}``;
+    the write goes through a temp file in the same directory followed
+    by ``os.replace``, so readers only ever see the old file or the
+    complete new one — never a torn write.
+    """
+    document = json.dumps(
+        {"sha256": payload_digest(payload), "payload": payload},
+        sort_keys=True,
+        indent=1,
+    )
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    handle, temporary = tempfile.mkstemp(
+        dir=directory, prefix=".checkpoint-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as stream:
+            stream.write(document)
+        os.replace(temporary, path)
+    except BaseException:
+        try:
+            os.unlink(temporary)
+        except OSError:
+            pass
+        raise
+
+
+def read_json_checkpoint(path):
+    """Read a checkpoint written by :func:`write_json_checkpoint`.
+
+    Raises :class:`~repro.robustness.errors.CheckpointCorrupt` when the
+    file does not parse, lacks the seal, or the seal does not match the
+    payload — callers must treat that as "no checkpoint", never as
+    data.
+    """
+    path = os.fspath(path)
+    try:
+        with open(path, encoding="utf-8") as stream:
+            document = json.load(stream)
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise CheckpointCorrupt(
+            "checkpoint file unreadable", path=path, reason=str(error)
+        ) from error
+    if not isinstance(document, dict) or "payload" not in document:
+        raise CheckpointCorrupt(
+            "checkpoint file lacks a payload", path=path
+        )
+    expected = document.get("sha256")
+    actual = payload_digest(document["payload"])
+    if expected != actual:
+        raise CheckpointCorrupt(
+            "checkpoint integrity seal mismatch",
+            path=path,
+            expected_sha256=expected,
+            actual_sha256=actual,
+        )
+    return document["payload"]
+
+
 def roundtrip_safe(problem: Problem) -> bool:
     """Whether the problem survives a text round trip unchanged.
 
@@ -101,6 +188,10 @@ __all__ = [
     "problem_from_text",
     "problem_to_json",
     "problem_from_json",
+    "canonical_json",
+    "payload_digest",
+    "write_json_checkpoint",
+    "read_json_checkpoint",
     "roundtrip_safe",
     "render_label",
 ]

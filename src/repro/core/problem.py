@@ -14,6 +14,54 @@ from collections.abc import Hashable, Iterable
 
 from repro.core.constraints import Constraint
 from repro.core.labels import Alphabet, render_label
+from repro.robustness.errors import InvalidProblem
+
+
+def _first_configuration_using(
+    node_constraint: Constraint, edge_constraint: Constraint, labels
+) -> str:
+    """Render the first configuration touching any of ``labels``."""
+    for constraint in (node_constraint, edge_constraint):
+        for configuration in constraint:
+            if configuration.support() & labels:
+                return configuration.render()
+    return "<none>"
+
+
+def _check_duplicate_node_lines(node_lines, name: str = "") -> None:
+    """Reject a node configuration spelled out twice in different ways.
+
+    Only *simple* lines — those expanding to a single configuration —
+    participate: two distinct such lines denoting the same multiset
+    (``M X^2`` vs ``X^2 M``) are always a typo and raise
+    :class:`InvalidProblem` naming the configuration.  Disjunction
+    lines (``[MUBQ]^4``) overlap across lines by design (the Lemma 6
+    normal forms rely on it), and repeating the identical line is
+    tolerated as an idempotent mention (degenerate family parameters
+    such as ``Pi(a=0, x=Delta)`` produce it legitimately).
+    """
+    from repro.core.configurations import parse_condensed
+
+    seen: dict = {}
+    for line in node_lines:
+        condensed = parse_condensed(line) if isinstance(line, str) else line
+        rendered = (
+            line.strip() if isinstance(line, str) else condensed.render()
+        )
+        expanded = condensed.expand()
+        if len(expanded) != 1:
+            continue
+        (configuration,) = expanded
+        previous = seen.get(configuration)
+        if previous is not None and previous != rendered:
+            raise InvalidProblem(
+                "duplicate node configuration "
+                f"{configuration.render()!r} produced by distinct "
+                f"lines {previous!r} and {rendered!r}",
+                configuration=configuration.render(),
+                name=name or "<unnamed>",
+            )
+        seen[configuration] = rendered
 
 
 class Problem:
@@ -31,15 +79,23 @@ class Problem:
         if not isinstance(alphabet, Alphabet):
             alphabet = Alphabet(alphabet)
         if edge_constraint.arity != 2:
-            raise ValueError(
-                f"edge constraint must have arity 2, got {edge_constraint.arity}"
+            raise InvalidProblem(
+                "edge constraint must have arity 2",
+                arity=edge_constraint.arity,
+                name=name or "<unnamed>",
             )
         stray_node = node_constraint.labels_used() - set(alphabet)
         stray_edge = edge_constraint.labels_used() - set(alphabet)
         if stray_node or stray_edge:
-            raise ValueError(
+            offending = _first_configuration_using(
+                node_constraint, edge_constraint, stray_node | stray_edge
+            )
+            raise InvalidProblem(
                 "constraints use labels outside the alphabet: "
-                f"{sorted(map(render_label, stray_node | stray_edge))}"
+                f"{sorted(map(render_label, stray_node | stray_edge))}",
+                configuration=offending,
+                alphabet_size=len(alphabet),
+                name=name or "<unnamed>",
             )
         self._alphabet = alphabet
         self._node_constraint = node_constraint
@@ -59,9 +115,29 @@ class Problem:
         (MIS with Delta = 3, Section 2.2 of the paper)::
 
             Problem.from_text(["M^3", "P O^2"], ["M [PO]", "O O"])
+
+        Validation happens here, where the offending line can still be
+        named: mixed arities raise :class:`InvalidProblem`, and so does
+        a node configuration produced by two *different* condensed
+        lines (a duplicate that would otherwise silently collapse —
+        repeating the identical line is tolerated as an idempotent
+        mention).  Edge lines legitimately re-mention pairs (the
+        paper's ``M [PAOX]`` / ``X [MPAOX]`` style both contain
+        ``MX``), so the duplicate check applies to node lines only.
         """
-        node_constraint = Constraint.from_condensed(node_lines)
-        edge_constraint = Constraint.from_condensed(edge_lines)
+        node_lines = list(node_lines)
+        edge_lines = list(edge_lines)
+        _check_duplicate_node_lines(node_lines, name=name)
+        try:
+            node_constraint = Constraint.from_condensed(node_lines)
+            edge_constraint = Constraint.from_condensed(edge_lines)
+        except InvalidProblem:
+            raise
+        except ValueError as error:
+            raise InvalidProblem(
+                f"malformed constraint lines: {error}",
+                name=name or "<unnamed>",
+            ) from error
         labels = sorted(
             node_constraint.labels_used() | edge_constraint.labels_used(),
             key=render_label,
@@ -146,8 +222,16 @@ class Problem:
             usable = node_constraint.labels_used() & edge_constraint.labels_used()
             if usable == node_constraint.labels_used() | edge_constraint.labels_used():
                 break
-            node_constraint = node_constraint.restrict_to(usable)
-            edge_constraint = edge_constraint.restrict_to(usable)
+            try:
+                node_constraint = node_constraint.restrict_to(usable)
+                edge_constraint = edge_constraint.restrict_to(usable)
+            except ValueError as error:
+                raise InvalidProblem(
+                    "normalization removed every configuration "
+                    "(the problem is locally unsatisfiable)",
+                    alphabet_size=len(self._alphabet),
+                    name=self.name or "<unnamed>",
+                ) from error
         alphabet = Alphabet(
             label for label in self._alphabet if label in usable
         )
@@ -157,7 +241,11 @@ class Problem:
         """Apply a label bijection, producing an isomorphic problem."""
         targets = [mapping.get(label, label) for label in self._alphabet]
         if len(set(targets)) != len(targets):
-            raise ValueError("renaming is not injective on the alphabet")
+            raise InvalidProblem(
+                "renaming is not injective on the alphabet",
+                alphabet_size=len(self._alphabet),
+                name=self.name or "<unnamed>",
+            )
         return Problem(
             Alphabet(targets),
             self._node_constraint.rename(mapping),

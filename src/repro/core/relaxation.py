@@ -28,6 +28,7 @@ from collections.abc import Hashable, Iterable
 from repro.core.configurations import Configuration
 from repro.core.diagram import Diagram
 from repro.core.problem import Problem
+from repro.robustness import budget as _budget
 
 
 def can_relax(source: Configuration, target: Configuration) -> bool:
@@ -128,6 +129,7 @@ def find_label_relabeling(source: Problem, target: Problem) -> dict | None:
         return True
 
     def assign(index: int) -> bool:
+        _budget.checkpoint(phase="relabeling-search", assigned=index)
         if index == len(source_labels):
             return True
         label = source_labels[index]
@@ -170,6 +172,9 @@ def find_upgrade_reduction(
 
     witnesses: dict[Configuration, Configuration] = {}
     for configuration in source.node_constraint.configurations:
+        _budget.checkpoint(
+            phase="upgrade-reduction", witnesses=len(witnesses)
+        )
         found = None
         for candidate in target.node_constraint.configurations:
             if _match(

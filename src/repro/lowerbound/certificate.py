@@ -18,6 +18,18 @@ step the paper chains together:
 The result is a :class:`LowerBoundCertificate` whose ``ok`` property
 states that every executed check passed — the closest a program can
 come to "running" the paper's proof for one parameter point.
+
+The builder is *resource-governed*: pass a
+:class:`~repro.robustness.budget.Budget` to bound it and a
+:class:`~repro.robustness.checkpointing.CheckpointStore` to make it
+restartable.  Each named stage is checkpointed as it completes, so a
+run killed mid-certificate resumes from the last completed stage and
+renders a certificate byte-identical to an uninterrupted run.  When a
+tight alphabet budget trips inside the governed engine check, the
+builder falls back to the paper's own medicine — simplification via
+:mod:`repro.robustness.degradation` — and records every degradation
+rung in the certificate's ``provenance``, so the result is auditably
+weaker rather than silently wrong.
 """
 
 from __future__ import annotations
@@ -35,6 +47,9 @@ from repro.lowerbound.lift import (
     verify_theorem14_premises,
 )
 from repro.lowerbound.sequence import lemma13_chain, verify_chain_arithmetic
+from repro.robustness.budget import Budget
+from repro.robustness.checkpointing import CheckpointStore
+from repro.robustness.errors import SimplificationFailed
 from repro.sim.generators import colored_port_cayley_graph, complete_bipartite_graph
 
 #: Direct Rbar(R(.)) computation is exponential in Delta; cap it here.
@@ -43,6 +58,9 @@ DIRECT_VERIFICATION_LIMIT = 5
 ARGUMENT_VERIFICATION_LIMIT = 14
 #: Witness instances grow as 2^Delta (Cayley); cap the instance checks.
 INSTANCE_LIMIT = 8
+#: The governed engine check runs on a family member clamped to this
+#: Delta, keeping the degradation demonstration cheap at any scale.
+GOVERNED_CHECK_DELTA = 4
 
 
 @dataclass
@@ -57,11 +75,17 @@ class LowerBoundCertificate:
     randomized_bound: float = 0.0
     checks: dict = field(default_factory=dict)
     skipped: list = field(default_factory=list)
+    provenance: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         """All executed checks passed."""
         return all(self.checks.values())
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any check ran in a budget-degraded form."""
+        return any("degradation" in entry for entry in self.provenance)
 
     def render(self) -> str:
         """A human-readable audit trail."""
@@ -76,65 +100,203 @@ class LowerBoundCertificate:
             lines.append(f"  [{'ok' if passed else 'FAIL'}] {name}")
         for name in self.skipped:
             lines.append(f"  [skipped] {name} (above the feasibility cap)")
+        for entry in self.provenance:
+            lines.append(f"  [provenance] {entry}")
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """JSON-safe form for checkpoint files."""
+        return {
+            "delta": self.delta,
+            "k": self.k,
+            "n": self.n,
+            "chain_length": self.chain_length,
+            "deterministic_bound": self.deterministic_bound,
+            "randomized_bound": self.randomized_bound,
+            "checks": dict(self.checks),
+            "skipped": list(self.skipped),
+            "provenance": list(self.provenance),
+        }
 
-def build_certificate(delta: int, k: int = 0, n: float = 2**64) -> LowerBoundCertificate:
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LowerBoundCertificate":
+        fields_ = {
+            "delta", "k", "n", "chain_length",
+            "deterministic_bound", "randomized_bound",
+            "checks", "skipped", "provenance",
+        }
+        return cls(**{key: payload[key] for key in fields_ if key in payload})
+
+
+def _certificate_stage_name(delta: int, k: int) -> str:
+    return f"certificate-delta{delta}-k{k}"
+
+
+def build_certificate(
+    delta: int,
+    k: int = 0,
+    n: float = 2**64,
+    *,
+    store: CheckpointStore | None = None,
+    budget: Budget | None = None,
+) -> LowerBoundCertificate:
     """Run the whole roadmap for one parameter point.
 
-    All checks raise-free: failures are recorded in ``checks`` so the
-    certificate can report exactly which step broke.
+    All proof checks are raise-free: failures are recorded in
+    ``checks`` so the certificate can report exactly which step broke.
+    Resource failures are *not* swallowed — a tripped budget or an
+    injected fault propagates as its typed exception, leaving the
+    checkpoint (if a ``store`` was given) at the last completed stage;
+    calling again with the same ``store`` resumes there and produces
+    output identical to an uninterrupted run.
     """
     certificate = LowerBoundCertificate(delta=delta, k=k, n=n)
     checks = certificate.checks
+    stage_name = _certificate_stage_name(delta, k)
+    completed: set[str] = set()
+
+    if store is not None:
+        state, corruption = store.load_or_discard(stage_name)
+        if corruption is not None:
+            state = None
+        if (
+            state is not None
+            and state.get("delta") == delta
+            and state.get("k") == k
+            and state.get("n") == n
+        ):
+            completed = set(state.get("completed", ()))
+            certificate.chain_length = state["chain_length"]
+            certificate.deterministic_bound = state["deterministic_bound"]
+            certificate.randomized_bound = state["randomized_bound"]
+            certificate.checks.update(state.get("checks", {}))
+            certificate.skipped.extend(state.get("skipped", ()))
+            certificate.provenance.extend(state.get("provenance", ()))
+
+    def persist(stage: str) -> None:
+        completed.add(stage)
+        if store is not None:
+            payload = certificate.to_dict()
+            payload["completed"] = sorted(completed)
+            store.save(stage_name, payload)
 
     chain = lemma13_chain(delta, k)
-    certificate.chain_length = max(len(chain) - 1, 0)
-    checks["lemma13 chain arithmetic"] = _safe(
-        lambda: verify_chain_arithmetic(chain)
-    )
-    premises = verify_theorem14_premises(chain)
-    checks["theorem14 premises"] = premises.ok
-    certificate.deterministic_bound = theorem1_deterministic_bound(n, delta, k)
-    certificate.randomized_bound = theorem1_randomized_bound(n, delta, k)
+    if "chain" not in completed:
+        if budget is not None:
+            budget.checkpoint(stage="chain")
+        certificate.chain_length = max(len(chain) - 1, 0)
+        checks["lemma13 chain arithmetic"] = _safe(
+            lambda: verify_chain_arithmetic(chain)
+        )
+        premises = verify_theorem14_premises(chain)
+        checks["theorem14 premises"] = premises.ok
+        certificate.deterministic_bound = theorem1_deterministic_bound(
+            n, delta, k
+        )
+        certificate.randomized_bound = theorem1_randomized_bound(n, delta, k)
+        persist("chain")
 
     # Lemma-level verification on a representative chain step.
     representative = next(
         (step for step in chain if step.x + 2 <= step.a <= step.delta), None
     )
     if representative is None:
-        certificate.skipped.append("lemma 6/8/9 (no step in the valid range)")
+        if "no-representative" not in completed:
+            certificate.skipped.append(
+                "lemma 6/8/9 (no step in the valid range)"
+            )
+            persist("no-representative")
         return certificate
     a, x = representative.a, representative.x
 
-    if delta <= ARGUMENT_VERIFICATION_LIMIT:
-        checks["lemma6 normal form"] = _safe(lambda: verify_lemma6(delta, a, x))
-        checks["lemma8 case analysis"] = _safe(
-            lambda: verify_lemma8_argument(delta, a, x).ok
-        )
-    else:
-        certificate.skipped.append("lemma 6/8 expansion")
-    if delta <= DIRECT_VERIFICATION_LIMIT:
-        checks["lemma8 direct Rbar"] = _safe(
-            lambda: verify_lemma8_direct(delta, a, x)
-        )
-    else:
-        certificate.skipped.append("lemma8 direct Rbar")
+    if "lemma6-8" not in completed:
+        if budget is not None:
+            budget.checkpoint(stage="lemma6-8")
+        if delta <= ARGUMENT_VERIFICATION_LIMIT:
+            checks["lemma6 normal form"] = _safe(
+                lambda: verify_lemma6(delta, a, x)
+            )
+            checks["lemma8 case analysis"] = _safe(
+                lambda: verify_lemma8_argument(delta, a, x).ok
+            )
+        else:
+            certificate.skipped.append("lemma 6/8 expansion")
+        persist("lemma6-8")
 
-    if delta <= ARGUMENT_VERIFICATION_LIMIT and 2 * x + 1 <= a and a >= x + 2:
-        checks["lemma9 conversion"] = _safe(
-            lambda: _lemma9_witness(delta, a, x)
-        )
-    else:
-        certificate.skipped.append("lemma9 witness")
+    if "lemma8-direct" not in completed:
+        if budget is not None:
+            budget.checkpoint(stage="lemma8-direct")
+        if delta <= DIRECT_VERIFICATION_LIMIT:
+            checks["lemma8 direct Rbar"] = _safe(
+                lambda: verify_lemma8_direct(delta, a, x)
+            )
+        else:
+            certificate.skipped.append("lemma8 direct Rbar")
+        persist("lemma8-direct")
 
-    if delta <= INSTANCE_LIMIT:
-        checks["lemma5 instance witness"] = _safe(
-            lambda: _lemma5_witness(delta, k)
-        )
-    else:
-        certificate.skipped.append("lemma5 instance witness")
+    if "governed-speedup" not in completed:
+        if budget is not None and budget.max_alphabet is not None:
+            budget.checkpoint(stage="governed-speedup")
+            _governed_engine_check(certificate, budget, delta, a, x)
+        persist("governed-speedup")
+
+    if "lemma9" not in completed:
+        if budget is not None:
+            budget.checkpoint(stage="lemma9")
+        if delta <= ARGUMENT_VERIFICATION_LIMIT and 2 * x + 1 <= a and a >= x + 2:
+            checks["lemma9 conversion"] = _safe(
+                lambda: _lemma9_witness(delta, a, x)
+            )
+        else:
+            certificate.skipped.append("lemma9 witness")
+        persist("lemma9")
+
+    if "lemma5" not in completed:
+        if budget is not None:
+            budget.checkpoint(stage="lemma5")
+        if delta <= INSTANCE_LIMIT:
+            checks["lemma5 instance witness"] = _safe(
+                lambda: _lemma5_witness(delta, k)
+            )
+        else:
+            certificate.skipped.append("lemma5 instance witness")
+        persist("lemma5")
     return certificate
+
+
+def _governed_engine_check(
+    certificate: LowerBoundCertificate,
+    budget: Budget,
+    delta: int,
+    a: int,
+    x: int,
+) -> None:
+    """One speedup step under the alphabet budget, degrading as needed.
+
+    Runs on a family member clamped to :data:`GOVERNED_CHECK_DELTA` so
+    the demonstration stays cheap at any Delta.  Degradation rungs land
+    in ``provenance``; running out of medicine records a failed check
+    instead of raising, keeping the certificate's raise-free contract
+    for proof-level problems.
+    """
+    from repro.problems.family import family_problem
+    from repro.robustness.degradation import governed_speedup
+
+    clamped_delta = min(delta, GOVERNED_CHECK_DELTA)
+    clamped_a = min(a, clamped_delta)
+    clamped_x = min(x, max(clamped_a - 2, 0))
+    problem = family_problem(clamped_delta, clamped_a, clamped_x)
+    try:
+        stepped = governed_speedup(problem, budget, degrade=True, step=0)
+    except SimplificationFailed as failure:
+        certificate.checks["governed speedup under budget"] = False
+        certificate.provenance.append(
+            f"degradation exhausted on {problem.name}: {failure.message}"
+        )
+        return
+    certificate.checks["governed speedup under budget"] = True
+    for event in stepped.events:
+        certificate.provenance.append(event.provenance())
 
 
 def _lemma9_witness(delta: int, a: int, x: int) -> bool:

@@ -15,12 +15,15 @@ benchmarks additionally re-verify sampled steps with the full engine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.problem import Problem
 from repro.core.solvability import zero_round_solvable_symmetric
 from repro.lowerbound.lemma9 import lemma9_target_a
 from repro.problems.family import family_problem
+from repro.robustness import budget as _budget
+from repro.robustness.budget import Budget, governed
+from repro.robustness.checkpointing import CheckpointStore
 
 
 @dataclass(frozen=True)
@@ -31,6 +34,24 @@ class ChainStep:
     delta: int
     a: int
     x: int
+
+    def to_dict(self) -> dict:
+        """JSON-safe form for checkpoint files."""
+        return {
+            "index": self.index,
+            "delta": self.delta,
+            "a": self.a,
+            "x": self.x,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ChainStep":
+        return cls(
+            index=payload["index"],
+            delta=payload["delta"],
+            a=payload["a"],
+            x=payload["x"],
+        )
 
     @property
     def problem(self) -> Problem:
@@ -74,12 +95,114 @@ def lemma13_chain(delta: int, x: int = 0) -> list[ChainStep]:
         x_i = x + index
         if a_i < 1 or x_i > delta - 1:
             break
+        _budget.check_chain_step(index, phase="lemma13-chain", a=a_i, x=x_i)
         step = ChainStep(index=index, delta=delta, a=a_i, x=x_i)
         chain.append(step)
         if not step.speedup_conditions_hold():
             break
         index += 1
     return chain
+
+
+@dataclass
+class ChainRunResult:
+    """Outcome of a (possibly resumed) governed chain construction."""
+
+    chain: list[ChainStep]
+    complete: bool
+    resumed_from_step: int | None = None
+    provenance: list[str] = field(default_factory=list)
+
+    @property
+    def certified_rounds(self) -> int:
+        """The PN lower bound the (possibly partial) chain certifies."""
+        return max(len(self.chain) - 1, 0)
+
+
+def _chain_stage_name(delta: int, x: int) -> str:
+    return f"chain-delta{delta}-x{x}"
+
+
+def run_chain(
+    delta: int,
+    x: int = 0,
+    *,
+    store: CheckpointStore | None = None,
+    budget: Budget | None = None,
+) -> ChainRunResult:
+    """Build the Lemma 13 chain restartably, under an optional budget.
+
+    Produces exactly :func:`lemma13_chain`'s steps, but checkpoints the
+    completed prefix to ``store`` after every step, so a run killed
+    mid-chain (a budget trip, an injected fault, a real crash) resumes
+    from the last completed step on the next call and yields a chain
+    identical to an uninterrupted run.  A corrupt checkpoint file is
+    detected by its integrity seal, discarded, and recorded in
+    ``provenance`` — the run restarts from scratch rather than trusting
+    damaged state.
+    """
+    if delta < 1:
+        raise ValueError("delta must be positive")
+    if x < 0:
+        raise ValueError("x must be non-negative")
+    stage = _chain_stage_name(delta, x)
+    chain: list[ChainStep] = []
+    resumed_from: int | None = None
+    provenance: list[str] = []
+    if store is not None:
+        state, corruption = store.load_or_discard(stage)
+        if corruption is not None:
+            provenance.append(
+                f"discarded corrupt checkpoint {stage!r}: {corruption.message}"
+            )
+        if (
+            state is not None
+            and state.get("delta") == delta
+            and state.get("x") == x
+        ):
+            chain = [ChainStep.from_dict(item) for item in state["steps"]]
+            resumed_from = len(chain)
+            if state.get("complete"):
+                return ChainRunResult(
+                    chain=chain,
+                    complete=True,
+                    resumed_from_step=resumed_from,
+                    provenance=provenance,
+                )
+
+    def persist(complete: bool) -> None:
+        if store is not None:
+            store.save(
+                stage,
+                {
+                    "delta": delta,
+                    "x": x,
+                    "steps": [step.to_dict() for step in chain],
+                    "complete": complete,
+                },
+            )
+
+    with governed(budget):
+        while True:
+            if chain and not chain[-1].speedup_conditions_hold():
+                break
+            index = len(chain)
+            a_i = delta // (2 ** (3 * index))
+            x_i = x + index
+            if a_i < 1 or x_i > delta - 1:
+                break
+            _budget.check_chain_step(
+                index, phase="chain-run", a=a_i, x=x_i
+            )
+            chain.append(ChainStep(index=index, delta=delta, a=a_i, x=x_i))
+            persist(complete=False)
+    persist(complete=True)
+    return ChainRunResult(
+        chain=chain,
+        complete=True,
+        resumed_from_step=resumed_from,
+        provenance=provenance,
+    )
 
 
 def verify_chain_arithmetic(chain: list[ChainStep]) -> bool:

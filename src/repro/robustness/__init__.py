@@ -1,0 +1,90 @@
+"""Resource-governed execution for the round-elimination engine.
+
+Round elimination grows problem descriptions doubly exponentially in
+the worst case (paper, Sec. 1.2); serving it at production scale needs
+explicit defenses.  This package provides them:
+
+``repro.robustness.errors``
+    The typed failure hierarchy — :class:`ReproError` and its
+    subclasses, each carrying structured context (step index, alphabet
+    size, elapsed time).
+``repro.robustness.budget``
+    :class:`Budget` objects (wall clock, alphabet, configurations,
+    chain steps) with a cooperative :func:`checkpoint` protocol threaded
+    through the engine's hot loops, plus the :func:`governed` ambient
+    installer.
+``repro.robustness.checkpointing``
+    :class:`CheckpointStore` — atomic, integrity-sealed JSON stages on
+    disk, so killed runs resume from the last completed step.
+``repro.robustness.degradation``
+    Graceful degradation: when the alphabet budget trips mid-step,
+    shrink the problem via the paper's own medicine (equivalence
+    merging, label removal — the Lemma 9 motivation) and record every
+    rung as auditable provenance.
+
+``errors`` and ``budget`` import nothing from the engine and are safe
+to import from anywhere in ``repro.core``; ``checkpointing`` and
+``degradation`` sit above the core and are loaded lazily here to keep
+the layering acyclic.
+"""
+
+from repro.robustness.budget import (
+    Budget,
+    check_alphabet,
+    check_chain_step,
+    check_configurations,
+    checkpoint,
+    current_budget,
+    governed,
+)
+from repro.robustness.errors import (
+    AlphabetExplosion,
+    BudgetExceeded,
+    CheckpointCorrupt,
+    InvalidProblem,
+    ReproError,
+    SimplificationFailed,
+)
+
+_LAZY = {
+    "CheckpointStore": ("repro.robustness.checkpointing", "CheckpointStore"),
+    "DegradationEvent": ("repro.robustness.degradation", "DegradationEvent"),
+    "GovernedSpeedup": ("repro.robustness.degradation", "GovernedSpeedup"),
+    "GovernedTrajectory": (
+        "repro.robustness.degradation",
+        "GovernedTrajectory",
+    ),
+    "governed_speedup": ("repro.robustness.degradation", "governed_speedup"),
+    "governed_iterate": ("repro.robustness.degradation", "governed_iterate"),
+    "shrink_once": ("repro.robustness.degradation", "shrink_once"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attribute)
+
+
+__all__ = [
+    "ReproError",
+    "InvalidProblem",
+    "SimplificationFailed",
+    "BudgetExceeded",
+    "AlphabetExplosion",
+    "CheckpointCorrupt",
+    "Budget",
+    "governed",
+    "current_budget",
+    "checkpoint",
+    "check_alphabet",
+    "check_configurations",
+    "check_chain_step",
+    *sorted(_LAZY),
+]

@@ -1,0 +1,84 @@
+"""On-disk checkpoint store for restartable computations.
+
+A :class:`CheckpointStore` manages one directory of named stages, each
+an atomically written, integrity-sealed JSON file (the primitives live
+in :mod:`repro.core.io`).  The contract the engine relies on:
+
+* a kill at any moment leaves either the previous complete checkpoint
+  or the new complete checkpoint on disk — never a torn file;
+* a corrupted file (bit rot, manual edits, the fault harness) is
+  detected by its SHA-256 seal and surfaces as
+  :class:`~repro.robustness.errors.CheckpointCorrupt`, which resume
+  logic converts into "start from scratch", never into wrong data.
+
+The chain runner (:func:`repro.lowerbound.sequence.run_chain`) and the
+certificate builder
+(:func:`repro.lowerbound.certificate.build_certificate`) write a stage
+after every completed step, so a resumed run replays only the remaining
+work and produces output identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.io import read_json_checkpoint, write_json_checkpoint
+from repro.robustness.errors import CheckpointCorrupt
+
+
+class CheckpointStore:
+    """A directory of named, integrity-sealed JSON checkpoint stages."""
+
+    def __init__(self, directory):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, stage: str) -> Path:
+        """The on-disk path of ``stage``."""
+        return self.directory / f"{stage}.json"
+
+    def save(self, stage: str, payload: dict) -> None:
+        """Atomically persist ``payload`` under ``stage``."""
+        write_json_checkpoint(self.path_for(stage), payload)
+
+    def load(self, stage: str):
+        """The payload of ``stage``, or ``None`` when absent.
+
+        Raises :class:`CheckpointCorrupt` when the file exists but
+        fails its integrity seal.
+        """
+        path = self.path_for(stage)
+        if not path.exists():
+            return None
+        return read_json_checkpoint(path)
+
+    def load_or_discard(self, stage: str):
+        """Like :meth:`load`, but a corrupt file is deleted and reported.
+
+        Returns ``(payload_or_None, corruption_error_or_None)`` so the
+        caller can both restart cleanly and record why.
+        """
+        try:
+            return self.load(stage), None
+        except CheckpointCorrupt as error:
+            self.delete(stage)
+            return None, error
+
+    def delete(self, stage: str) -> None:
+        """Remove ``stage`` if present."""
+        try:
+            self.path_for(stage).unlink()
+        except FileNotFoundError:
+            pass
+
+    def stages(self) -> list[str]:
+        """Names of all stages currently on disk, sorted."""
+        return sorted(path.stem for path in self.directory.glob("*.json"))
+
+    def clear(self) -> None:
+        """Delete every stage in the store."""
+        for stage in self.stages():
+            self.delete(stage)
+
+
+__all__ = ["CheckpointStore"]

@@ -1,0 +1,87 @@
+"""The typed failure hierarchy of the engine.
+
+Round elimination is explosive by nature: one ``Rbar(R(.))`` step can
+grow the alphabet doubly exponentially (paper, Sec. 1.2), and the
+surrounding search procedures (closed-set frontiers, maximization DFS,
+brute-force solvability) inherit that blow-up.  When something gives
+way, callers need to know *what* gave way and *where* — a bare
+``ValueError`` thrown from five frames inside a maximization loop is
+useless to a CLI, a batch scheduler, or a resume-from-checkpoint
+driver.
+
+Every exception here derives from :class:`ReproError` and carries a
+structured ``context`` dict (step index, alphabet size, elapsed time,
+...) alongside the rendered message.  The hierarchy deliberately
+double-inherits from the builtin types it replaces so that existing
+``except ValueError`` / ``except RuntimeError`` call sites keep
+working:
+
+* :class:`InvalidProblem` (also a ``ValueError``) — a problem
+  description is malformed or degenerate: labels outside the alphabet,
+  mismatched arities, duplicated configurations, or a constraint that
+  admits no maximal configuration.
+* :class:`SimplificationFailed` (also a ``ValueError``) — the graceful
+  degradation ladder (equivalence merging, label removal, the Lemma 9
+  style relaxations) ran out of medicine before meeting the budget.
+* :class:`BudgetExceeded` (also a ``RuntimeError``) — a cooperative
+  :meth:`~repro.robustness.budget.Budget.checkpoint` found a resource
+  budget (wall clock, configurations, chain steps) exhausted.
+* :class:`AlphabetExplosion` — the specific, most common budget trip:
+  a round-elimination step produced more labels than allowed.
+* :class:`CheckpointCorrupt` — a checkpoint file on disk failed its
+  integrity seal or did not parse; resume logic treats this as "start
+  from scratch", never as data.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all typed engine failures.
+
+    Attributes:
+        message: the human-readable summary, without the context suffix.
+        context: structured key/value details (step, alphabet_size,
+            elapsed, ...) for programmatic callers and the CLI.
+    """
+
+    def __init__(self, message: str = "", **context):
+        self.message = message
+        self.context = dict(context)
+        rendered = message
+        if self.context:
+            details = ", ".join(
+                f"{key}={value}" for key, value in sorted(self.context.items())
+            )
+            rendered = f"{message} [{details}]" if message else f"[{details}]"
+        super().__init__(rendered)
+
+
+class InvalidProblem(ReproError, ValueError):
+    """A problem description is malformed or degenerate."""
+
+
+class SimplificationFailed(ReproError, ValueError):
+    """Graceful degradation could not shrink a problem far enough."""
+
+
+class BudgetExceeded(ReproError, RuntimeError):
+    """A cooperative checkpoint found a resource budget exhausted."""
+
+
+class AlphabetExplosion(BudgetExceeded):
+    """A round-elimination step outgrew the alphabet budget."""
+
+
+class CheckpointCorrupt(ReproError):
+    """A checkpoint file failed its integrity seal or did not parse."""
+
+
+__all__ = [
+    "ReproError",
+    "InvalidProblem",
+    "SimplificationFailed",
+    "BudgetExceeded",
+    "AlphabetExplosion",
+    "CheckpointCorrupt",
+]

@@ -24,6 +24,8 @@ import itertools
 
 from repro.core.configurations import Configuration
 from repro.core.problem import Problem
+from repro.robustness import budget as _budget
+from repro.robustness.errors import BudgetExceeded
 from repro.sim.graph import Graph
 from repro.sim.verifiers import verify_lcl
 from repro.sim.views import view_classes
@@ -56,8 +58,12 @@ def uniform_algorithm_exists(
     ``problem`` on ``graph``.
 
     Exhaustive search over per-view-class outputs with a work ``limit``
-    guard (raises ``RuntimeError`` beyond it rather than silently
-    degrading to a heuristic).
+    guard (raises :class:`BudgetExceeded` — still a ``RuntimeError`` —
+    beyond it rather than silently degrading to a heuristic).  An
+    ambient :class:`~repro.robustness.budget.Budget` further tightens
+    the limit through ``max_configurations`` and is checkpointed once
+    per tried assignment, so wall-clock budgets and fault injection
+    reach into this loop.
     """
     classes = view_classes(graph, radius)
     class_of_node: dict[int, int] = {}
@@ -68,14 +74,26 @@ def uniform_algorithm_exists(
     options = [
         class_output_options(problem, degree) for degree in degree_of_class
     ]
+    active = _budget.current_budget()
+    if active is not None and active.max_configurations is not None:
+        limit = min(limit, active.max_configurations)
     total = 1
     for choice in options:
         total *= max(len(choice), 1)
         if total > limit:
-            raise RuntimeError(
-                f"search space {total}+ exceeds the limit {limit}"
+            raise BudgetExceeded(
+                f"search space {total}+ exceeds the limit {limit}",
+                search_space=total,
+                limit=limit,
+                view_classes=len(classes),
+                radius=radius,
             )
+    tried = 0
     for assignment in itertools.product(*options):
+        tried += 1
+        _budget.checkpoint(
+            phase="brute-force", assignments_tried=tried, radius=radius
+        )
         labeling = {}
         for node in range(graph.n):
             output = assignment[class_of_node[node]]
@@ -110,7 +128,12 @@ def witness_labeling(
     options = [
         class_output_options(problem, graph.degree(group[0])) for group in classes
     ]
+    tried = 0
     for assignment in itertools.product(*options):
+        tried += 1
+        _budget.checkpoint(
+            phase="witness-search", assignments_tried=tried, radius=radius
+        )
         labeling = {}
         for node in range(graph.n):
             output = assignment[class_of_node[node]]

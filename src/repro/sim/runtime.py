@@ -156,6 +156,7 @@ def run(
     *,
     model: str = "LOCAL",
     seed: int = 0,
+    rng: random.Random | None = None,
     inputs: list | None = None,
     max_rounds: int = 10_000,
     message_bits: int | None = None,
@@ -166,6 +167,14 @@ def run(
     rounds until the last node halts (a node halting right in ``init``
     contributes 0 rounds).  Raises ``RuntimeError`` when ``max_rounds``
     is exceeded — distributed algorithms must terminate.
+
+    All randomness flows from one injectable master stream: either the
+    ``rng`` argument or a fresh ``random.Random(seed)`` — never the
+    module-level global.  Per-node private streams are derived from the
+    master deterministically, so a run is a pure function of
+    ``(graph, algorithm, seed-or-rng, inputs)`` and an
+    interrupted-and-resumed randomized experiment reproduces exactly by
+    replaying with the same seed.
 
     In the ``"CONGEST"`` model every message is size-checked against
     ``message_bits`` (default ``32 * ceil(log2 n)``, i.e. O(log n));
@@ -178,7 +187,7 @@ def run(
     bit_budget = message_bits
     if model == "CONGEST" and bit_budget is None:
         bit_budget = 32 * max((graph.n - 1).bit_length(), 1)
-    master = random.Random(seed)
+    master = rng if rng is not None else random.Random(seed)
     node_seeds = [master.randrange(2**63) for _ in range(graph.n)]
     algorithms = [algorithm_factory() for _ in range(graph.n)]
     per_node_rounds = [0] * graph.n

@@ -1,0 +1,148 @@
+"""Property tests for checkpoint/resume: a killed run, resumed, must be
+indistinguishable from an uninterrupted one — identical chain steps,
+byte-identical certificates — and corrupt state must be discarded, not
+trusted."""
+
+import json
+
+import pytest
+
+from repro.core.io import (
+    canonical_json,
+    payload_digest,
+    read_json_checkpoint,
+    write_json_checkpoint,
+)
+from repro.lowerbound.certificate import build_certificate
+from repro.lowerbound.sequence import lemma13_chain, run_chain
+from repro.robustness.budget import Budget
+from repro.robustness.checkpointing import CheckpointStore
+from repro.robustness.errors import CheckpointCorrupt
+
+from tests.faults import InjectedFault, corrupt_checkpoint, tripping_budget
+
+
+class TestCheckpointFiles:
+    def test_canonical_json_is_key_order_independent(self):
+        assert canonical_json({"b": 1, "a": [2, 3]}) == canonical_json(
+            {"a": [2, 3], "b": 1}
+        )
+
+    def test_digest_tracks_content(self):
+        assert payload_digest({"a": 1}) != payload_digest({"a": 2})
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "state.json"
+        payload = {"steps": [1, 2, 3], "complete": False}
+        write_json_checkpoint(path, payload)
+        assert read_json_checkpoint(path) == payload
+
+    def test_flipped_byte_breaks_the_seal(self, tmp_path):
+        path = tmp_path / "state.json"
+        write_json_checkpoint(path, {"steps": list(range(20))})
+        corrupt_checkpoint(path)
+        with pytest.raises(CheckpointCorrupt):
+            read_json_checkpoint(path)
+
+    def test_tampered_payload_breaks_the_seal(self, tmp_path):
+        path = tmp_path / "state.json"
+        write_json_checkpoint(path, {"value": 1})
+        document = json.loads(path.read_text())
+        document["payload"]["value"] = 2
+        path.write_text(json.dumps(document))
+        with pytest.raises(CheckpointCorrupt):
+            read_json_checkpoint(path)
+
+
+class TestCheckpointStore:
+    def test_save_load_delete(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert store.load("alpha") is None
+        store.save("alpha", {"x": 1})
+        assert store.load("alpha") == {"x": 1}
+        assert "alpha" in store.stages()
+        store.delete("alpha")
+        assert store.load("alpha") is None
+
+    def test_load_or_discard_removes_corrupt_files(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("alpha", {"x": 1})
+        corrupt_checkpoint(store.path_for("alpha"))
+        payload, error = store.load_or_discard("alpha")
+        assert payload is None
+        assert isinstance(error, CheckpointCorrupt)
+        # The damaged file is gone; the next load is a clean miss.
+        assert store.load("alpha") is None
+
+
+class TestChainResume:
+    """run_chain killed mid-construction resumes to the identical chain."""
+
+    @pytest.mark.parametrize("delta,x", [(8, 0), (16, 1), (64, 0), (512, 0)])
+    def test_killed_and_resumed_equals_uninterrupted(self, tmp_path, delta, x):
+        baseline = lemma13_chain(delta, x)
+        store = CheckpointStore(tmp_path)
+        budget, injector = tripping_budget(trip_at=2)
+        with pytest.raises(InjectedFault):
+            run_chain(delta, x, store=store, budget=budget)
+        resumed = run_chain(delta, x, store=store)
+        assert resumed.chain == baseline
+        assert resumed.complete
+        assert resumed.resumed_from_step is not None
+        assert resumed.resumed_from_step < len(baseline)
+
+    def test_resuming_a_complete_run_is_a_pure_replay(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        first = run_chain(64, 0, store=store)
+        second = run_chain(64, 0, store=store)
+        assert second.chain == first.chain
+        assert second.resumed_from_step == len(first.chain)
+
+    def test_corrupt_checkpoint_is_discarded_and_recomputed(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        run_chain(64, 0, store=store)
+        (stage,) = store.stages()
+        corrupt_checkpoint(store.path_for(stage))
+        result = run_chain(64, 0, store=store)
+        assert result.chain == lemma13_chain(64, 0)
+        assert result.resumed_from_step is None
+        assert any("corrupt" in entry for entry in result.provenance)
+
+
+class TestCertificateResume:
+    """build_certificate killed mid-stage renders byte-identically."""
+
+    def test_killed_and_resumed_renders_identically(self, tmp_path):
+        baseline = build_certificate(4, 0).render()
+        store = CheckpointStore(tmp_path)
+        budget, injector = tripping_budget(trip_at=2)
+        with pytest.raises(InjectedFault):
+            build_certificate(4, 0, store=store, budget=budget)
+        resumed = build_certificate(4, 0, store=store)
+        assert resumed.render() == baseline
+        assert resumed.ok
+
+    def test_degraded_certificate_resumes_identically(self, tmp_path):
+        # Same budget shape in both runs: a tight alphabet cap that
+        # forces the governed stage to degrade via simplification.
+        baseline = build_certificate(
+            4, 0, budget=Budget(max_alphabet=4)
+        ).render()
+        store = CheckpointStore(tmp_path)
+        budget, injector = tripping_budget(trip_at=2, max_alphabet=4)
+        with pytest.raises(InjectedFault):
+            build_certificate(4, 0, store=store, budget=budget)
+        resumed = build_certificate(
+            4, 0, store=store, budget=Budget(max_alphabet=4)
+        )
+        assert resumed.render() == baseline
+        assert resumed.ok
+        assert resumed.degraded
+        assert any("LOSSY" in entry for entry in resumed.provenance)
+
+    def test_mismatched_parameters_do_not_resume(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        build_certificate(4, 0, store=store)
+        other = build_certificate(4, 1, store=store)
+        assert other.k == 1
+        assert other.render() == build_certificate(4, 1).render()
