@@ -1,0 +1,148 @@
+"""RE-KERNEL: benchmarks of the interned-bitmask fast path.
+
+Pytest benchmarks time the kernel operators against the reference
+engine; running the file as a script maintains ``BENCH_kernel.json``,
+a committed trajectory of measured speedups on the Delta=4 MIS chain:
+
+* ``PYTHONPATH=src python benchmarks/bench_kernel.py``
+  measures (best of 3) and *appends* an entry to the trajectory.
+* ``PYTHONPATH=src python benchmarks/bench_kernel.py --quick``
+  single measurement, no recording; exits non-zero if the current
+  kernel-vs-reference speedup ratio fell below one third of the best
+  recorded ratio (a >3x regression).  Comparing *ratios* rather than
+  wall-clock seconds keeps the gate meaningful across machines of
+  different speeds; the whole run stays well under a minute.
+"""
+
+import json
+import os
+import sys
+import time
+
+from repro.core.round_elimination import R, Rbar, rename_to_strings
+from repro.problems.family import family_problem
+from repro.problems.mis import mis_problem
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from bench_engine import MIS_CHAIN_DELTA, MIS_CHAIN_STEPS, run_mis_chain
+
+TRAJECTORY_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_kernel.json",
+)
+REGRESSION_FACTOR = 3.0
+
+
+# ---------------------------------------------------------------------------
+# Pytest benchmarks
+# ---------------------------------------------------------------------------
+
+def test_kernel_r_timing(benchmark):
+    problem = mis_problem(6)
+    result = benchmark(lambda: R(problem, use_kernel=True))
+    assert result == R(problem)
+
+
+def test_kernel_rbar_timing(benchmark):
+    intermediate = rename_to_strings(R(family_problem(4, 3, 1))).problem
+    result = benchmark.pedantic(
+        lambda: Rbar(intermediate, use_kernel=True), iterations=1, rounds=3
+    )
+    assert result == Rbar(intermediate)
+
+
+def test_kernel_chain_timing(once):
+    """The Delta=4 MIS chain on the kernel path, result cross-checked."""
+    kernel = once(lambda: run_mis_chain(use_kernel=True))
+    assert kernel == run_mis_chain(use_kernel=False)
+
+
+def test_parallel_rbar_matches_serial(once):
+    """The multiprocessing fan-out is timed and must equal the serial
+    kernel result (on single-core CI this measures overhead, not gain)."""
+    intermediate = rename_to_strings(R(mis_problem(4))).problem
+    parallel = once(lambda: Rbar(intermediate, use_kernel=True, workers=2))
+    assert parallel == Rbar(intermediate, use_kernel=True)
+
+
+# ---------------------------------------------------------------------------
+# Trajectory maintenance (script mode)
+# ---------------------------------------------------------------------------
+
+def measure_chain(rounds: int) -> dict:
+    """Best-of-``rounds`` timings for reference and kernel chains."""
+    run_mis_chain(use_kernel=True)  # warm-up (imports, caches)
+    reference_seconds = min(
+        _timed(lambda: run_mis_chain(use_kernel=False)) for _ in range(rounds)
+    )
+    kernel_seconds = min(
+        _timed(lambda: run_mis_chain(use_kernel=True)) for _ in range(rounds)
+    )
+    assert run_mis_chain(use_kernel=False) == run_mis_chain(use_kernel=True)
+    return {
+        "chain": f"mis_delta{MIS_CHAIN_DELTA}_steps{MIS_CHAIN_STEPS}",
+        "reference_seconds": round(reference_seconds, 4),
+        "kernel_seconds": round(kernel_seconds, 4),
+        "speedup": round(reference_seconds / kernel_seconds, 2),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+
+
+def _timed(fn) -> float:
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started
+
+
+def load_trajectory() -> list[dict]:
+    if not os.path.exists(TRAJECTORY_PATH):
+        return []
+    with open(TRAJECTORY_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def record() -> None:
+    entry = measure_chain(rounds=3)
+    trajectory = load_trajectory()
+    trajectory.append(entry)
+    with open(TRAJECTORY_PATH, "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=2)
+        handle.write("\n")
+    print(f"recorded: {entry}")
+    print(f"trajectory length: {len(trajectory)} ({TRAJECTORY_PATH})")
+
+
+def quick_gate() -> int:
+    """Single measurement vs. the best recorded ratio; 0 = pass."""
+    entry = measure_chain(rounds=1)
+    trajectory = load_trajectory()
+    print(
+        f"current: speedup {entry['speedup']}x "
+        f"(reference {entry['reference_seconds']}s, "
+        f"kernel {entry['kernel_seconds']}s)"
+    )
+    if not trajectory:
+        print("no recorded trajectory - nothing to compare against")
+        return 0
+    best = max(item["speedup"] for item in trajectory)
+    floor = best / REGRESSION_FACTOR
+    print(f"best recorded: {best}x, regression floor: {floor:.2f}x")
+    if entry["speedup"] < floor:
+        print(
+            f"FAIL: kernel speedup regressed more than "
+            f"{REGRESSION_FACTOR}x below the best recorded ratio"
+        )
+        return 1
+    print("PASS")
+    return 0
+
+
+def main() -> int:
+    if "--quick" in sys.argv[1:]:
+        return quick_gate()
+    record()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

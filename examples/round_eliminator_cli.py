@@ -1,12 +1,15 @@
 """A tiny round-eliminator CLI, in the spirit of Olivetti's tool [36].
 
-Run:  python examples/round_eliminator_cli.py [steps]
+Run:  python examples/round_eliminator_cli.py [steps] [--kernel [--workers N]]
 
 Reads a problem from stdin in the paper's condensed syntax — node
 configurations, a blank line, then edge configurations — and applies
 the requested number of Rbar(R(.)) speedup steps, printing the renamed
 problem and its diagrams after each.  Press Ctrl-D (EOF) after the edge
 constraint.  With no stdin input, demonstrates on sinkless orientation.
+``--kernel`` routes the operators through the interned bitmask fast
+path (identical output, measured in benchmarks/bench_kernel.py), and
+``--workers N`` additionally parallelizes the Rbar maximization DFS.
 
 Example input (MIS, Delta = 3):
 
@@ -45,11 +48,42 @@ def read_problem_from_stdin() -> Problem | None:
 
 
 def main() -> None:
-    steps = int(sys.argv[1]) if len(sys.argv) > 1 else 2
+    arguments = sys.argv[1:]
+    use_kernel = False
+    workers = None
+    positional: list[str] = []
+    index = 0
+    while index < len(arguments):
+        argument = arguments[index]
+        if argument == "--kernel":
+            use_kernel = True
+        elif argument == "--workers":
+            if index + 1 >= len(arguments):
+                raise SystemExit("error: --workers requires a value")
+            try:
+                workers = int(arguments[index + 1])
+            except ValueError:
+                raise SystemExit(
+                    f"error: --workers expects an integer, got {arguments[index + 1]!r}"
+                )
+            index += 1
+        elif argument.startswith("-"):
+            raise SystemExit(f"error: unknown option {argument}")
+        else:
+            positional.append(argument)
+        index += 1
+    if workers is not None and not use_kernel:
+        raise SystemExit("error: --workers requires --kernel")
+    try:
+        steps = int(positional[0]) if positional else 2
+    except ValueError:
+        raise SystemExit(f"error: steps must be an integer, got {positional[0]!r}")
     problem = read_problem_from_stdin()
     if problem is None:
         print("(no stdin input - demonstrating on sinkless orientation)")
         problem = sinkless_orientation_problem(3)
+    if use_kernel:
+        print("(engine: kernel fast path" + (f", {workers} workers)" if workers else ")"))
     for step_index in range(steps + 1):
         print(f"=== step {step_index} ===")
         print(problem.render())
@@ -59,12 +93,12 @@ def main() -> None:
         print(node_diagram(problem).render() or "  (no relations)")
         print(
             "0-round solvable (PN):",
-            zero_round_solvable_pn(problem),
+            zero_round_solvable_pn(problem, use_kernel=use_kernel),
         )
         print()
         if step_index == steps:
             break
-        problem = speedup(problem).problem
+        problem = speedup(problem, use_kernel=use_kernel, workers=workers).problem
         problem.name = f"step {step_index + 1}"
 
 

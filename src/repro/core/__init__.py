@@ -36,6 +36,7 @@ from repro.core.solvability import (
     zero_round_solvable_pn,
     zero_round_solvable_symmetric,
 )
+from repro.core.kernel import KernelProblem, LabelInterner, kernel_R, kernel_Rbar
 
 __all__ = [
     "Alphabet",
@@ -63,4 +64,8 @@ __all__ = [
     "randomized_zero_round_failure_bound",
     "zero_round_solvable_pn",
     "zero_round_solvable_symmetric",
+    "KernelProblem",
+    "LabelInterner",
+    "kernel_R",
+    "kernel_Rbar",
 ]

@@ -20,6 +20,7 @@ from collections.abc import Hashable, Iterable
 
 from repro.core.constraints import Constraint
 from repro.core.labels import render_label
+from repro.robustness.errors import InvalidProblem
 
 
 class Diagram:
@@ -38,17 +39,31 @@ class Diagram:
         """The labels the diagram is defined over."""
         return self._labels
 
+    def _lookup(self, strong: Hashable, weak: Hashable) -> bool:
+        try:
+            return self._ge[(strong, weak)]
+        except KeyError:
+            known = set(self._labels)
+            missing = next(
+                label for label in (strong, weak) if label not in known
+            )
+            raise InvalidProblem(
+                f"label {render_label(missing)} is missing from the diagram",
+                label=render_label(missing),
+                diagram_labels=len(self._labels),
+            ) from None
+
     def at_least_as_strong(self, strong: Hashable, weak: Hashable) -> bool:
         """Whether ``strong`` is at least as strong as ``weak``."""
-        return self._ge[(strong, weak)]
+        return self._lookup(strong, weak)
 
     def stronger(self, strong: Hashable, weak: Hashable) -> bool:
         """Strict strength: ``strong`` >= ``weak`` but not conversely."""
-        return self._ge[(strong, weak)] and not self._ge[(weak, strong)]
+        return self._lookup(strong, weak) and not self._lookup(weak, strong)
 
     def equivalent(self, first: Hashable, second: Hashable) -> bool:
         """Mutual strength (the labels are interchangeable on edges)."""
-        return self._ge[(first, second)] and self._ge[(second, first)]
+        return self._lookup(first, second) and self._lookup(second, first)
 
     def successors(self, label: Hashable) -> frozenset:
         """All labels strictly stronger than ``label``."""

@@ -1,0 +1,55 @@
+"""Fast-path round-elimination kernel: interned labels, bitset
+constraints, memoized lattices, and an opt-in parallel maximization DFS.
+
+The reference engine (:mod:`repro.core.round_elimination` and friends)
+stays the semantic source of truth; this package is its performance
+twin, pinned to it by the differential oracle in ``tests/oracle.py``.
+Select it through the ``use_kernel=True`` flag on the public entry
+points (``R``, ``Rbar``, ``speedup``, the zero-round tests, the
+relaxation helpers, ``run_chain``) or call the ``*_kernel`` functions
+directly.
+"""
+
+from repro.core.kernel.bitops import (
+    bit,
+    is_strict_subset,
+    is_subset,
+    iter_bits,
+    mask_from_ids,
+    popcount,
+    universe,
+)
+from repro.core.kernel.engine import (
+    KernelProblem,
+    all_relax_into_kernel,
+    existential_constraint_kernel,
+    find_label_relabeling_kernel,
+    kernel_R,
+    kernel_Rbar,
+    maximize_edge_constraint_kernel,
+    maximize_node_constraint_kernel,
+    zero_round_solvable_pn_kernel,
+    zero_round_solvable_symmetric_kernel,
+)
+from repro.core.kernel.interning import LabelInterner
+
+__all__ = [
+    "KernelProblem",
+    "LabelInterner",
+    "kernel_R",
+    "kernel_Rbar",
+    "maximize_edge_constraint_kernel",
+    "maximize_node_constraint_kernel",
+    "existential_constraint_kernel",
+    "all_relax_into_kernel",
+    "find_label_relabeling_kernel",
+    "zero_round_solvable_pn_kernel",
+    "zero_round_solvable_symmetric_kernel",
+    "bit",
+    "mask_from_ids",
+    "iter_bits",
+    "popcount",
+    "is_subset",
+    "is_strict_subset",
+    "universe",
+]

@@ -1,0 +1,95 @@
+"""Opt-in multiprocessing fan-out for the arity-Delta maximization DFS.
+
+The node maximization of ``Rbar`` explores right-closed candidate sets
+in non-decreasing index order, so the search tree decomposes cleanly by
+its *top-level prefix*: the subtree whose first chosen set is
+``candidates[k]`` is independent of every other subtree, touches only
+indices ``>= k``, and the serial result list is exactly the
+concatenation of the chunk results for ``k = 0, 1, 2, ...``.  Each
+chunk therefore ships to a worker as a single integer; the shared
+search tables (candidate masks, member ids, prefix closure) travel once
+per worker through the pool initializer.
+
+Budget interplay (PR 1's ``governed()`` machinery): workers run
+unbudgeted — a ``Budget`` is deliberately not shipped across the
+process boundary, because its wall clock and fault-injection probe are
+bound to the parent — and instead the *parent* fires the ambient
+checkpoints between chunk results, with the accumulated configuration
+count.  Wall-clock budgets, configuration caps, and injected faults
+therefore still trip in parallel mode, at chunk granularity rather than
+per DFS node.  Callers who need per-node enforcement should stay on the
+serial path (``workers=None``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+from repro.core.kernel.engine import search_maximization_chunk
+from repro.robustness import budget as _budget
+
+_WORKER_TABLES: tuple | None = None
+
+
+def _initialize_worker(tables: tuple) -> None:
+    global _WORKER_TABLES
+    _WORKER_TABLES = tables
+
+
+def _run_chunk(first_index: int) -> list[tuple[int, ...]]:
+    candidates, member_steps, closure, arity = _WORKER_TABLES
+    return search_maximization_chunk(
+        candidates, member_steps, closure, arity, first_index
+    )
+
+
+def search_maximization_parallel(
+    candidates: tuple[int, ...],
+    member_steps: tuple[tuple[int, ...], ...],
+    closure: frozenset[int],
+    arity: int,
+    workers: int,
+) -> list[tuple[int, ...]]:
+    """Run the maximization DFS chunked across ``workers`` processes.
+
+    Returns the same list, in the same order, as the serial search.
+    Falls back to in-process execution when only one chunk exists or
+    the pool cannot be created (restricted environments).
+    """
+    tables = (candidates, member_steps, closure, arity)
+    chunk_indices = range(len(candidates))
+    results: list[tuple[int, ...]] = []
+    try:
+        context = multiprocessing.get_context()
+        pool = context.Pool(
+            processes=workers,
+            initializer=_initialize_worker,
+            initargs=(tables,),
+        )
+    except (OSError, ValueError):
+        for first_index in chunk_indices:
+            _budget.check_configurations(
+                len(results), phase="node-maximization", chunk=first_index
+            )
+            results.extend(
+                search_maximization_chunk(
+                    candidates, member_steps, closure, arity, first_index
+                )
+            )
+        return results
+    try:
+        for first_index, chunk in enumerate(pool.imap(_run_chunk, chunk_indices)):
+            _budget.check_configurations(
+                len(results),
+                phase="node-maximization",
+                chunk=first_index,
+                parallel_workers=workers,
+            )
+            results.extend(chunk)
+    finally:
+        pool.terminate()
+        pool.join()
+    return results
+
+
+__all__ = ["search_maximization_parallel"]

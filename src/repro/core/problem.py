@@ -67,7 +67,14 @@ def _check_duplicate_node_lines(node_lines, name: str = "") -> None:
 class Problem:
     """A locally checkable problem in the round-elimination formalism."""
 
-    __slots__ = ("_alphabet", "_node_constraint", "_edge_constraint", "name")
+    __slots__ = (
+        "_alphabet",
+        "_node_constraint",
+        "_edge_constraint",
+        "name",
+        "_compat_cache",
+        "_kernel_cache",
+    )
 
     def __init__(
         self,
@@ -101,6 +108,8 @@ class Problem:
         self._node_constraint = node_constraint
         self._edge_constraint = edge_constraint
         self.name = name
+        self._compat_cache: dict = {}
+        self._kernel_cache = None
 
     @classmethod
     def from_text(
@@ -189,10 +198,19 @@ class Problem:
         return self._edge_constraint.allows((left, right))
 
     def compatible_labels(self, label: Hashable) -> frozenset:
-        """All labels that may sit on the other endpoint of ``label``."""
-        return frozenset(
-            other for other in self._alphabet if self.edge_allows(label, other)
-        )
+        """All labels that may sit on the other endpoint of ``label``.
+
+        Memoized per label: these single-label images generate the
+        Galois closure lattice of the maximization step, which used to
+        recompute them on every ``partner`` call.
+        """
+        cached = self._compat_cache.get(label)
+        if cached is None:
+            cached = frozenset(
+                other for other in self._alphabet if self.edge_allows(label, other)
+            )
+            self._compat_cache[label] = cached
+        return cached
 
     def self_compatible_labels(self) -> frozenset:
         """Labels L with LL allowed on an edge (used by Lemmas 12 and 15)."""

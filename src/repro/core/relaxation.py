@@ -100,14 +100,22 @@ def _match_assignment(left: list, right: list, admits) -> dict[int, int] | None:
     return assignment
 
 
-def find_label_relabeling(source: Problem, target: Problem) -> dict | None:
+def find_label_relabeling(
+    source: Problem, target: Problem, *, use_kernel: bool = False
+) -> dict | None:
     """A uniform map g: Sigma_source -> Sigma_target certifying a
     0-round reduction, or ``None`` if no such map exists.
 
     The map must send every allowed node (edge) configuration of the
     source to an allowed node (edge) configuration of the target.
     Backtracking over the source alphabet with incremental pruning.
+    ``use_kernel=True`` runs the interned-id search instead (same
+    existence answer; the returned witness may differ).
     """
+    if use_kernel:
+        from repro.core.kernel.engine import find_label_relabeling_kernel
+
+        return find_label_relabeling_kernel(source, target)
     if source.delta != target.delta:
         return None
     source_labels = list(source.alphabet)
@@ -190,7 +198,9 @@ def find_upgrade_reduction(
     return witnesses
 
 
-def compare_problems(first: Problem, second: Problem) -> str:
+def compare_problems(
+    first: Problem, second: Problem, *, use_kernel: bool = False
+) -> str:
     """Order two problems by 0-round relabeling reductions.
 
     Returns one of ``"equivalent"``, ``"first_easier"`` (a solution of
@@ -201,8 +211,8 @@ def compare_problems(first: Problem, second: Problem) -> str:
     but it is exactly the kind of certificate the paper's Lemma 11 and
     the relaxation steps produce.
     """
-    forward = find_label_relabeling(first, second) is not None
-    backward = find_label_relabeling(second, first) is not None
+    forward = find_label_relabeling(first, second, use_kernel=use_kernel) is not None
+    backward = find_label_relabeling(second, first, use_kernel=use_kernel) is not None
     if forward and backward:
         return "equivalent"
     if forward:
@@ -213,9 +223,20 @@ def compare_problems(first: Problem, second: Problem) -> str:
 
 
 def all_relax_into(
-    configurations: Iterable[Configuration], targets: Iterable[Configuration]
+    configurations: Iterable[Configuration],
+    targets: Iterable[Configuration],
+    *,
+    use_kernel: bool = False,
 ) -> bool:
-    """Whether every configuration relaxes into some target (Lemma 8)."""
+    """Whether every configuration relaxes into some target (Lemma 8).
+
+    ``use_kernel=True`` interns the set labels once and runs the
+    Definition 7 matchings over bitmasks.
+    """
+    if use_kernel:
+        from repro.core.kernel.engine import all_relax_into_kernel
+
+        return all_relax_into_kernel(configurations, targets)
     target_list = list(targets)
     return all(
         any(can_relax(configuration, target) for target in target_list)

@@ -29,13 +29,20 @@ from repro.core.configurations import Configuration
 from repro.core.problem import Problem
 
 
-def zero_round_solvable_pn(problem: Problem) -> bool:
+def zero_round_solvable_pn(problem: Problem, *, use_kernel: bool = False) -> bool:
     """Deterministic 0-round solvability in the general PN model.
 
     True iff some allowed node configuration's support is pairwise
     edge-compatible (including each label with itself, since the two
     endpoints of an edge may use equal port numbers).
+    ``use_kernel=True`` evaluates the same predicate over interned
+    bitmasks (support mask contained in every member's compatibility
+    mask).
     """
+    if use_kernel:
+        from repro.core.kernel.engine import zero_round_solvable_pn_kernel
+
+        return zero_round_solvable_pn_kernel(problem)
     return _pn_witness(problem) is not None
 
 
@@ -57,7 +64,9 @@ def _pn_witness(problem: Problem) -> Configuration | None:
     return None
 
 
-def zero_round_solvable_symmetric(problem: Problem) -> bool:
+def zero_round_solvable_symmetric(
+    problem: Problem, *, use_kernel: bool = False
+) -> bool:
     """Deterministic 0-round solvability on Lemma 12's instances.
 
     The instances assign port i to both endpoints of every color-i edge,
@@ -65,7 +74,13 @@ def zero_round_solvable_symmetric(problem: Problem) -> bool:
     some allowed node configuration uses self-compatible labels only.
     The Delta-edge coloring input does not help: it coincides with the
     port numbering, which is already visible in 0 rounds.
+    ``use_kernel=True`` checks support masks against the
+    self-compatible mask instead of iterating label sets.
     """
+    if use_kernel:
+        from repro.core.kernel.engine import zero_round_solvable_symmetric_kernel
+
+        return zero_round_solvable_symmetric_kernel(problem)
     return _symmetric_witness(problem) is not None
 
 

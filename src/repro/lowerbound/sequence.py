@@ -129,6 +129,8 @@ def run_chain(
     *,
     store: CheckpointStore | None = None,
     budget: Budget | None = None,
+    verify_steps: bool = False,
+    use_kernel: bool = False,
 ) -> ChainRunResult:
     """Build the Lemma 13 chain restartably, under an optional budget.
 
@@ -140,6 +142,11 @@ def run_chain(
     detected by its integrity seal, discarded, and recorded in
     ``provenance`` — the run restarts from scratch rather than trusting
     damaged state.
+
+    With ``verify_steps=True`` every appended step is additionally
+    checked non-0-round-solvable (Lemma 12) before being persisted,
+    and the engine used for the check is recorded in ``provenance``;
+    ``use_kernel`` selects the bitmask fast path for those checks.
     """
     if delta < 1:
         raise ValueError("delta must be positive")
@@ -182,6 +189,11 @@ def run_chain(
                 },
             )
 
+    if verify_steps:
+        provenance.append(
+            "per-step Lemma 12 checks via "
+            + ("kernel engine" if use_kernel else "reference engine")
+        )
     with governed(budget):
         while True:
             if chain and not chain[-1].speedup_conditions_hold():
@@ -194,7 +206,14 @@ def run_chain(
             _budget.check_chain_step(
                 index, phase="chain-run", a=a_i, x=x_i
             )
-            chain.append(ChainStep(index=index, delta=delta, a=a_i, x=x_i))
+            step = ChainStep(index=index, delta=delta, a=a_i, x=x_i)
+            if verify_steps and step_zero_round_solvable(
+                step, use_kernel=use_kernel
+            ):
+                raise AssertionError(
+                    f"{step.render()} is 0-round solvable (Lemma 12 fails)"
+                )
+            chain.append(step)
             persist(complete=False)
     persist(complete=True)
     return ChainRunResult(
@@ -205,7 +224,9 @@ def run_chain(
     )
 
 
-def verify_chain_arithmetic(chain: list[ChainStep]) -> bool:
+def verify_chain_arithmetic(
+    chain: list[ChainStep], *, use_kernel: bool = False
+) -> bool:
     """Check the numeric glue between consecutive chain steps.
 
     For each step: Corollary 10's hypotheses hold, the post-speedup
@@ -230,12 +251,12 @@ def verify_chain_arithmetic(chain: list[ChainStep]) -> bool:
         if following.x != current.x + 1:
             raise AssertionError(f"x must advance by 1 into {following.render()}")
     for step in chain:
-        if step_zero_round_solvable(step):
+        if step_zero_round_solvable(step, use_kernel=use_kernel):
             raise AssertionError(f"{step.render()} is 0-round solvable")
     return True
 
 
-def step_zero_round_solvable(step: ChainStep) -> bool:
+def step_zero_round_solvable(step: ChainStep, *, use_kernel: bool = False) -> bool:
     """Lemma 12's test for one chain step, scalable to huge Delta.
 
     For small Delta the full engine test runs on the materialized
@@ -246,7 +267,7 @@ def step_zero_round_solvable(step: ChainStep) -> bool:
     family edge constraint — the same test, without the blow-up.
     """
     if step.delta <= 64:
-        return zero_round_solvable_symmetric(step.problem)
+        return zero_round_solvable_symmetric(step.problem, use_kernel=use_kernel)
     delta, a, x = step.delta, step.a, step.x
     reference = family_problem(4, min(a, 4), min(x, 4))
     self_compatible = reference.self_compatible_labels()

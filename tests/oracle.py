@@ -1,0 +1,217 @@
+"""Differential-testing oracle: kernel fast path vs. reference engine.
+
+The kernel (:mod:`repro.core.kernel`) promises to return *exactly* the
+same objects as the reference implementation — same frozenset labels,
+same constraints, same problem names — for every operator it
+reimplements.  This module provides the corpus and the comparison
+helpers the differential tests run over:
+
+* a corpus of classic problems, small :math:`\\Pi_\\Delta(a, x)` family
+  instances, and seeded random constraint systems;
+* ``differential_*`` checks that run reference and kernel side by side
+  and assert agreement, including agreement on *failure* (both raise
+  :class:`InvalidProblem`, or neither does).
+
+The single sanctioned divergence: ``find_label_relabeling`` may return
+a *different* witness map from the two engines (both backtrack, in
+different candidate orders), so there the oracle checks None-ness and
+validates any returned witness independently.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.constraints import Constraint
+from repro.core.configurations import Configuration
+from repro.core.problem import Problem
+from repro.core.relaxation import find_label_relabeling
+from repro.core.round_elimination import R, Rbar, rename_to_strings
+from repro.core.solvability import (
+    zero_round_solvable_pn,
+    zero_round_solvable_symmetric,
+)
+from repro.problems.classic import (
+    coloring_problem,
+    perfect_matching_problem,
+    sinkless_orientation_problem,
+)
+from repro.problems.family import family_problem
+from repro.problems.mis import mis_problem
+from repro.robustness.errors import InvalidProblem
+
+
+# ---------------------------------------------------------------------------
+# Corpus
+# ---------------------------------------------------------------------------
+
+def classic_corpus() -> list[tuple[str, Problem]]:
+    """Named classic problems + small Pi_Delta(a, x) family instances."""
+    return [
+        ("mis3", mis_problem(3)),
+        ("mis4", mis_problem(4)),
+        ("sinkless_orientation3", sinkless_orientation_problem(3)),
+        ("perfect_matching3", perfect_matching_problem(3)),
+        ("coloring33", coloring_problem(3, 3)),
+        ("family320", family_problem(3, 2, 0)),
+        ("family431", family_problem(4, 3, 1)),
+        ("family441", family_problem(4, 4, 1)),
+    ]
+
+
+def random_problem(rng: random.Random, *, max_labels: int = 4) -> Problem:
+    """A random small constraint system (string labels, delta 2 or 3).
+
+    Draws a label alphabet, a non-empty random edge relation over it,
+    and a non-empty set of random node configurations.  Everything the
+    constraints mention lands in the alphabet, so construction itself
+    never fails — downstream operators may still legitimately raise
+    :class:`InvalidProblem` (e.g. an existential step coming up empty),
+    which the differential checks treat as an outcome to agree on.
+    """
+    label_count = rng.randint(2, max_labels)
+    labels = [chr(ord("A") + index) for index in range(label_count)]
+    delta = rng.randint(2, 3)
+    edge_pairs = set()
+    for left in labels:
+        for right in labels:
+            if rng.random() < 0.45:
+                edge_pairs.add(Configuration((left, right)))
+    if not edge_pairs:
+        edge_pairs.add(Configuration((rng.choice(labels), rng.choice(labels))))
+    node_configurations = set()
+    for _ in range(rng.randint(1, 5)):
+        node_configurations.add(
+            Configuration(rng.choice(labels) for _ in range(delta))
+        )
+    node_constraint = Constraint(node_configurations)
+    edge_constraint = Constraint(edge_pairs)
+    alphabet = sorted(
+        node_constraint.labels_used() | edge_constraint.labels_used()
+    )
+    return Problem(
+        alphabet,
+        node_constraint,
+        edge_constraint,
+        name=f"random-{rng.getrandbits(24):06x}",
+    )
+
+
+def random_corpus(seed: int, count: int) -> list[tuple[str, Problem]]:
+    """``count`` seeded random problems (deterministic across runs)."""
+    rng = random.Random(seed)
+    return [(f"random{index}", random_problem(rng)) for index in range(count)]
+
+
+def full_corpus(seed: int = 20210726, random_count: int = 12) -> list[tuple[str, Problem]]:
+    """The whole differential corpus: classics + family + random."""
+    return classic_corpus() + random_corpus(seed, random_count)
+
+
+# ---------------------------------------------------------------------------
+# Differential checks
+# ---------------------------------------------------------------------------
+
+_SENTINEL = object()
+
+
+def _outcome(function, *args, **kwargs):
+    """The function's return value, or the InvalidProblem it raised."""
+    try:
+        return function(*args, **kwargs)
+    except InvalidProblem as error:
+        return ("InvalidProblem", str(error))
+
+
+def assert_same_outcome(name: str, reference, kernel) -> None:
+    """Both engines returned equal values, or both failed the same way."""
+    reference_failed = isinstance(reference, tuple) and reference[:1] == ("InvalidProblem",)
+    kernel_failed = isinstance(kernel, tuple) and kernel[:1] == ("InvalidProblem",)
+    assert reference_failed == kernel_failed, (
+        f"{name}: engines disagree on failure: "
+        f"reference={reference!r} kernel={kernel!r}"
+    )
+    if not reference_failed:
+        assert reference == kernel, (
+            f"{name}: engines disagree:\n"
+            f"reference: {reference!r}\n"
+            f"kernel:    {kernel!r}"
+        )
+
+
+def differential_R(name: str, problem: Problem) -> Problem | None:
+    """R agrees between engines; returns the (reference) result if any."""
+    reference = _outcome(R, problem)
+    kernel = _outcome(R, problem, use_kernel=True)
+    assert_same_outcome(f"R({name})", reference, kernel)
+    if isinstance(reference, Problem):
+        assert reference.name == kernel.name
+        return reference
+    return None
+
+
+def differential_Rbar(
+    name: str, problem: Problem, *, workers: int | None = None
+) -> Problem | None:
+    """Rbar agrees between engines (optionally the parallel kernel)."""
+    reference = _outcome(Rbar, problem)
+    kernel = _outcome(Rbar, problem, use_kernel=True, workers=workers)
+    assert_same_outcome(f"Rbar({name})", reference, kernel)
+    if isinstance(reference, Problem):
+        assert reference.name == kernel.name
+        return reference
+    return None
+
+
+def differential_speedup(name: str, problem: Problem) -> None:
+    """One full Rbar(R(.)) step agrees between engines, end to end."""
+    intermediate = differential_R(name, problem)
+    if intermediate is None:
+        return
+    renamed = rename_to_strings(intermediate).problem
+    differential_Rbar(f"{name} renamed", renamed)
+
+
+def differential_zero_round(name: str, problem: Problem) -> None:
+    """Both solvability tests agree between engines."""
+    assert zero_round_solvable_pn(problem) == zero_round_solvable_pn(
+        problem, use_kernel=True
+    ), f"zero_round_solvable_pn({name}) disagrees"
+    assert zero_round_solvable_symmetric(problem) == zero_round_solvable_symmetric(
+        problem, use_kernel=True
+    ), f"zero_round_solvable_symmetric({name}) disagrees"
+
+
+def relabeling_is_valid(source: Problem, target: Problem, mapping: dict) -> bool:
+    """Independently check a find_label_relabeling witness.
+
+    The map must be total on the source alphabet and send every allowed
+    source configuration (node and edge) to an allowed target one.
+    """
+    if set(mapping) != set(source.alphabet):
+        return False
+    if not set(mapping.values()) <= set(target.alphabet):
+        return False
+    for constraint, target_constraint in (
+        (source.node_constraint, target.node_constraint),
+        (source.edge_constraint, target.edge_constraint),
+    ):
+        for configuration in constraint.configurations:
+            if configuration.replace_all(mapping) not in target_constraint:
+                return False
+    return True
+
+
+def differential_relabeling(name: str, source: Problem, target: Problem) -> None:
+    """Relabeling existence agrees; any witness from either engine is valid."""
+    reference = find_label_relabeling(source, target)
+    kernel = find_label_relabeling(source, target, use_kernel=True)
+    assert (reference is None) == (kernel is None), (
+        f"find_label_relabeling({name}): existence disagrees: "
+        f"reference={reference!r} kernel={kernel!r}"
+    )
+    for engine, witness in (("reference", reference), ("kernel", kernel)):
+        if witness is not None:
+            assert relabeling_is_valid(source, target, witness), (
+                f"find_label_relabeling({name}): invalid {engine} witness {witness!r}"
+            )

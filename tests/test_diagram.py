@@ -6,6 +6,7 @@ from hypothesis import given, strategies as st
 from repro.core.diagram import Diagram, edge_diagram, node_diagram, right_closed_sets
 from repro.problems.family import family_problem
 from repro.problems.mis import mis_problem
+from repro.robustness.errors import InvalidProblem
 
 
 class TestFigure1MIS:
@@ -130,3 +131,19 @@ class TestDiagramProperties:
         problem = mis_problem(delta)
         diagram = edge_diagram(problem)
         assert diagram.is_right_closed(set(problem.alphabet))
+
+    def test_missing_label_is_named_in_error(self):
+        # A query about a label the diagram was never built over must
+        # name the offender, not die with a bare KeyError.
+        problem = mis_problem(3)
+        diagram = edge_diagram(problem)
+        with pytest.raises(InvalidProblem, match="label Z is missing"):
+            diagram.at_least_as_strong("Z", "M")
+        with pytest.raises(InvalidProblem, match="label Q is missing"):
+            diagram.stronger("M", "Q")
+        try:
+            diagram.equivalent("W", "M")
+        except InvalidProblem as error:
+            assert error.context["label"] == "W"
+        else:
+            raise AssertionError("expected InvalidProblem")

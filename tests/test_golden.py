@@ -1,0 +1,76 @@
+"""Golden-file tests for the round-elimination operators.
+
+Each golden under ``tests/golden/`` pins the canonical JSON of one full
+speedup step ``Rbar(R(P))`` for a fixed input (MIS Delta=3 — the
+paper's Fig. 1 chain start — sinkless orientation, and one
+Pi_Delta(a, x) family instance).  The tests recompute the step with the
+reference engine *and* the kernel fast path and require byte-for-byte
+equality, failing with a unified diff.  Regenerate intentionally with
+``PYTHONPATH=src python tools/regen_golden.py``.
+"""
+
+import difflib
+import os
+import sys
+
+import pytest
+
+sys.path.insert(
+    0, os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+from tools.regen_golden import GOLDEN_CASES, GOLDEN_DIR
+
+from repro.core.io import problem_to_json
+from repro.core.round_elimination import speedup
+
+CASE_NAMES = sorted(GOLDEN_CASES)
+
+
+def read_golden(name: str) -> str:
+    path = os.path.join(GOLDEN_DIR, f"{name}.json")
+    assert os.path.exists(path), (
+        f"missing golden {path} - run: PYTHONPATH=src python tools/regen_golden.py"
+    )
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def assert_matches_golden(name: str, actual: str, engine: str) -> None:
+    expected = read_golden(name)
+    if actual == expected:
+        return
+    diff = "\n".join(
+        difflib.unified_diff(
+            expected.splitlines(),
+            actual.splitlines(),
+            fromfile=f"golden/{name}.json",
+            tofile=f"computed ({engine})",
+            lineterm="",
+        )
+    )
+    pytest.fail(f"golden mismatch for {name} ({engine} engine):\n{diff}")
+
+
+@pytest.mark.parametrize("name", CASE_NAMES)
+def test_speedup_matches_golden_reference(name):
+    problem = GOLDEN_CASES[name]()
+    actual = problem_to_json(speedup(problem).problem) + "\n"
+    assert_matches_golden(name, actual, "reference")
+
+
+@pytest.mark.parametrize("name", CASE_NAMES)
+def test_speedup_matches_golden_kernel(name):
+    problem = GOLDEN_CASES[name]()
+    actual = problem_to_json(speedup(problem, use_kernel=True).problem) + "\n"
+    assert_matches_golden(name, actual, "kernel")
+
+
+def test_goldens_are_current():
+    """regen_golden would be a no-op: files on disk match the generator."""
+    from tools.regen_golden import golden_text
+
+    for name, factory in GOLDEN_CASES.items():
+        assert read_golden(name) == golden_text(factory), (
+            f"{name}.json is stale - run tools/regen_golden.py and review the diff"
+        )

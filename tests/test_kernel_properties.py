@@ -1,0 +1,239 @@
+"""Property-based tests for the kernel layer (seeded stdlib random).
+
+Three families of invariants, each checked over a deterministic stream
+of random instances (``random.Random(seed)`` — no external property
+framework, so failures are exactly reproducible by seed):
+
+* **Observation 4** — every label produced by a maximization step is a
+  right-closed set with respect to the diagram of the constraint that
+  was maximized, and the kernel's right-closed-set enumeration (unions
+  of upward closures) matches the reference powerset scan exactly.
+* **Galois closure** — ``f(f(f(A))) == f(A)`` for arbitrary ``A``
+  (closure idempotence) and ``f(f(A)) == A`` for every closed set in
+  the memoized lattice, matching the pairs kept by the edge
+  maximization.
+* **Packing round-trips** — interned bitmasks reproduce frozensets
+  exactly, and the packed count-vector multisets of the DFS hot loop
+  are bijective below their per-field capacity.
+"""
+
+import random
+
+import pytest
+
+from repro.core.diagram import Diagram, edge_diagram, node_diagram
+from repro.core.kernel.bitops import iter_bits, mask_from_ids, popcount
+from repro.core.kernel.engine import (
+    KernelProblem,
+    pack_ids,
+    search_maximization_chunk,
+    unpack_ids,
+)
+from repro.core.kernel.interning import LabelInterner
+from repro.core.round_elimination import R, Rbar, rename_to_strings
+
+from tests.oracle import classic_corpus, random_problem
+
+SEED = 52
+
+CLASSICS = classic_corpus()
+CLASSIC_IDS = [name for name, _ in CLASSICS]
+
+
+# ---------------------------------------------------------------------------
+# Observation 4: maximization labels are right-closed
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name, problem", CLASSICS[:5], ids=CLASSIC_IDS[:5])
+def test_observation4_edge_maximization(name, problem):
+    """Labels of R(P) are right-closed w.r.t. the edge diagram of P."""
+    diagram = edge_diagram(problem)
+    for label in R(problem, use_kernel=True).alphabet:
+        assert isinstance(label, frozenset)
+        assert diagram.is_right_closed(label), (
+            f"{name}: R label {sorted(map(str, label))} is not right-closed"
+        )
+
+
+@pytest.mark.parametrize("name, problem", CLASSICS[:5], ids=CLASSIC_IDS[:5])
+def test_observation4_node_maximization(name, problem):
+    """Labels of Rbar(R(P)) are right-closed w.r.t. the node diagram."""
+    renamed = rename_to_strings(R(problem, use_kernel=True)).problem
+    diagram = node_diagram(renamed)
+    for label in Rbar(renamed, use_kernel=True).alphabet:
+        assert diagram.is_right_closed(label), (
+            f"{name}: Rbar label {sorted(map(str, label))} is not right-closed"
+        )
+
+
+def test_right_closed_enumeration_matches_reference():
+    """Kernel union-of-up-closures == reference powerset scan, on random
+    constraint systems as well as the classics."""
+    rng = random.Random(SEED)
+    problems = [problem for _, problem in CLASSICS]
+    problems += [random_problem(rng) for _ in range(10)]
+    for problem in problems:
+        kernel = KernelProblem.of(problem)
+        reference = Diagram(
+            problem.node_constraint, problem.alphabet
+        ).right_closed_sets()
+        from_kernel = {
+            kernel.interner.labels_of_mask(mask)
+            for mask in kernel.node_right_closed_sets()
+        }
+        assert from_kernel == set(reference), (
+            f"right-closed enumeration mismatch on {problem.name or problem!r}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Galois closure idempotence
+# ---------------------------------------------------------------------------
+
+def test_galois_partner_triple_application():
+    """f(f(f(A))) == f(A) for arbitrary A — the Galois closure identity."""
+    rng = random.Random(SEED + 1)
+    problems = [problem for _, problem in CLASSICS]
+    problems += [random_problem(rng) for _ in range(10)]
+    for problem in problems:
+        kernel = KernelProblem.of(problem)
+        universe_mask = (1 << kernel.n) - 1
+        for _ in range(20):
+            subset = rng.getrandbits(kernel.n) & universe_mask
+            once = kernel.partner(subset)
+            assert kernel.partner(kernel.partner(once)) == once, (
+                f"f(f(f(A))) != f(A) on {problem.name or problem!r}"
+            )
+
+
+def test_galois_lattice_sets_are_closed():
+    """Every memoized lattice member A satisfies f(f(A)) == A or is
+    filtered out by the maximization's closedness check — and each kept
+    edge configuration (A, f(A)) is a mutual-partner pair."""
+    rng = random.Random(SEED + 2)
+    problems = [problem for _, problem in CLASSICS]
+    problems += [random_problem(rng) for _ in range(10)]
+    for problem in problems:
+        kernel = KernelProblem.of(problem)
+        closed = [
+            mask
+            for mask in kernel.galois_closed_sets()
+            if kernel.partner(kernel.partner(mask)) == mask
+        ]
+        assert closed, f"no closed pair at all on {problem.name or problem!r}"
+        for mask in closed:
+            partner = kernel.partner(mask)
+            assert kernel.partner(partner) == mask
+
+
+def test_partner_memoization_is_stable():
+    """Memoized partner images equal a fresh recomputation (cache never
+    goes stale because problems are immutable)."""
+    _, problem = CLASSICS[0]
+    kernel = KernelProblem.of(problem)
+    first = {mask: kernel.partner(mask) for mask in kernel.galois_closed_sets()}
+    again = {mask: kernel.partner(mask) for mask in kernel.galois_closed_sets()}
+    assert first == again
+
+
+# ---------------------------------------------------------------------------
+# Bitmask and packed-multiset round-trips
+# ---------------------------------------------------------------------------
+
+def test_bitmask_frozenset_roundtrip():
+    """interner.mask_of / labels_of_mask are mutually inverse."""
+    rng = random.Random(SEED + 3)
+    for _ in range(50):
+        count = rng.randint(1, 12)
+        labels = frozenset(f"L{index}" for index in range(count))
+        interner = LabelInterner(labels)
+        subset = frozenset(
+            label for label in labels if rng.random() < 0.5
+        )
+        mask = interner.mask_of(subset)
+        assert interner.labels_of_mask(mask) == subset
+        assert popcount(mask) == len(subset)
+        # id round-trip, and ids enumerate in ascending order
+        ids = list(iter_bits(mask))
+        assert ids == sorted(ids)
+        assert mask_from_ids(ids) == mask
+
+
+def test_packed_multiset_roundtrip():
+    """pack_ids / unpack_ids are mutually inverse below field capacity.
+
+    The DFS packs a multiset of label ids into one integer with
+    ``shift`` bits per count field; the representation is bijective as
+    long as every count stays below ``2**shift``.
+    """
+    rng = random.Random(SEED + 4)
+    for _ in range(100):
+        arity = rng.randint(1, 6)
+        shift = arity.bit_length()
+        label_count = rng.randint(1, 10)
+        ids = sorted(rng.randrange(label_count) for _ in range(arity))
+        packed = pack_ids(ids, shift)
+        assert list(unpack_ids(packed, shift)) == ids
+        # additivity: packing is a sum of single-id steps
+        total = 0
+        for label_id in ids:
+            total += 1 << (shift * label_id)
+        assert total == packed
+
+
+def test_packed_multiset_is_injective():
+    """Distinct multisets pack to distinct integers (below capacity)."""
+    rng = random.Random(SEED + 5)
+    arity = 4
+    shift = arity.bit_length()
+    seen: dict[int, tuple] = {}
+    for _ in range(300):
+        ids = tuple(sorted(rng.randrange(6) for _ in range(arity)))
+        packed = pack_ids(ids, shift)
+        assert seen.setdefault(packed, ids) == ids
+    assert len(seen) > 1
+
+
+# ---------------------------------------------------------------------------
+# Chunk decomposition of the maximization DFS
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name, problem", CLASSICS[:4], ids=CLASSIC_IDS[:4])
+def test_chunk_concatenation_equals_serial(name, problem):
+    """The parallel chunking invariant: concatenating the per-prefix
+    chunks in index order reproduces the serial DFS result exactly."""
+    renamed = rename_to_strings(R(problem, use_kernel=True)).problem
+    kernel = KernelProblem.of(renamed)
+    candidates = kernel.node_right_closed_sets()
+    closure = kernel.node_prefix_closure()
+    shift = kernel.delta.bit_length()
+    member_steps = tuple(
+        tuple(1 << (shift * label_id) for label_id in iter_bits(mask))
+        for mask in candidates
+    )
+    serial: list[tuple[int, ...]] = []
+    for first_index in range(len(candidates)):
+        serial.extend(
+            search_maximization_chunk(
+                candidates, member_steps, closure, kernel.delta, first_index
+            )
+        )
+    # Chunks are disjoint and each result starts with its chunk's set.
+    assert len(serial) == len(set(serial))
+    for sets in serial:
+        assert sets[0] in candidates
+    # Pruning the concatenation reproduces the engine's serial answer.
+    from repro.core.configurations import Configuration
+    from repro.core.kernel.engine import (
+        maximize_node_constraint_kernel,
+        prune_non_maximal_masks,
+    )
+
+    maximal = prune_non_maximal_masks(serial, candidates)
+    rebuilt = {
+        Configuration(kernel.interner.labels_of_mask(mask) for mask in sets)
+        for sets in maximal
+    }
+    assert rebuilt == set(
+        maximize_node_constraint_kernel(renamed).configurations
+    )

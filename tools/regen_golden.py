@@ -1,0 +1,72 @@
+"""Regenerate the golden round-elimination corpus under tests/golden/.
+
+Run:  PYTHONPATH=src python tools/regen_golden.py
+
+Each golden file is the canonical JSON of ``Rbar(R(P))`` (one full
+speedup step, renamed to compact string labels) for a pinned input
+problem.  ``tests/test_golden.py`` recomputes these with both the
+reference engine and the kernel fast path and diffs byte-for-byte, so
+any behavioral drift in the operators — label naming, configuration
+sets, canonical ordering — shows up as a golden mismatch with a
+readable JSON diff.
+
+Regenerate *only* when an intentional change to the operators or the
+renaming scheme alters the expected output, and eyeball the diff
+before committing it.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.core.io import problem_to_json
+from repro.core.round_elimination import speedup
+from repro.problems.classic import sinkless_orientation_problem
+from repro.problems.family import family_problem
+from repro.problems.mis import mis_problem
+
+GOLDEN_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "tests", "golden"
+)
+
+#: name -> zero-argument problem factory.  Keep in sync with
+#: tests/test_golden.py (which imports this table).
+GOLDEN_CASES = {
+    "mis3_speedup": lambda: mis_problem(3),
+    "sinkless_orientation3_speedup": lambda: sinkless_orientation_problem(3),
+    "family320_speedup": lambda: family_problem(3, 2, 0),
+}
+
+
+def golden_text(factory) -> str:
+    """The golden payload: one speedup step, canonical JSON, newline-terminated."""
+    result = speedup(factory()).problem
+    return problem_to_json(result) + "\n"
+
+
+def main() -> None:
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for name, factory in GOLDEN_CASES.items():
+        path = os.path.join(GOLDEN_DIR, f"{name}.json")
+        text = golden_text(factory)
+        previous = None
+        if os.path.exists(path):
+            with open(path, encoding="utf-8") as handle:
+                previous = handle.read()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        status = (
+            "unchanged"
+            if previous == text
+            else ("updated" if previous is not None else "created")
+        )
+        print(f"{name}.json: {status}")
+
+
+if __name__ == "__main__":
+    main()
