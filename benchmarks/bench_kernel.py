@@ -12,6 +12,14 @@ a committed trajectory of measured speedups on the Delta=4 MIS chain:
   recorded ratio (a >3x regression).  Comparing *ratios* rather than
   wall-clock seconds keeps the gate meaningful across machines of
   different speeds; the whole run stays well under a minute.
+
+Besides timings, every measurement runs the chain once per engine
+under a tracer and records the summed counters: the semantic ones
+(which the two engines must agree on — ``--quick`` fails on any drift)
+plus the kernel's cache behavior, giving the trajectory a
+work-per-second denominator that wall-clock alone cannot provide.
+Failures of any kind exit non-zero with a one-line ``error:``
+diagnostic.
 """
 
 import json
@@ -20,6 +28,12 @@ import sys
 import time
 
 from repro.core.round_elimination import R, Rbar, rename_to_strings
+from repro.observability.metrics import (
+    diff_semantic_profiles,
+    semantic_profile,
+    total_counters,
+)
+from repro.observability.trace import Tracer, tracing
 from repro.problems.family import family_problem
 from repro.problems.mis import mis_problem
 
@@ -69,8 +83,21 @@ def test_parallel_rbar_matches_serial(once):
 # Trajectory maintenance (script mode)
 # ---------------------------------------------------------------------------
 
+def traced_chain_records(use_kernel: bool) -> list[dict]:
+    """One untimed chain run under a tracer; the finished records."""
+    tracer = Tracer()
+    with tracing(tracer):
+        run_mis_chain(use_kernel=use_kernel)
+    return tracer.finish()
+
+
 def measure_chain(rounds: int) -> dict:
-    """Best-of-``rounds`` timings for reference and kernel chains."""
+    """Best-of-``rounds`` timings plus counter summaries per engine.
+
+    The timed runs are untraced (the timings gate a <3% tracing
+    overhead budget elsewhere and must not include the tracer); one
+    extra traced run per engine collects the counters.
+    """
     run_mis_chain(use_kernel=True)  # warm-up (imports, caches)
     reference_seconds = min(
         _timed(lambda: run_mis_chain(use_kernel=False)) for _ in range(rounds)
@@ -79,11 +106,21 @@ def measure_chain(rounds: int) -> dict:
         _timed(lambda: run_mis_chain(use_kernel=True)) for _ in range(rounds)
     )
     assert run_mis_chain(use_kernel=False) == run_mis_chain(use_kernel=True)
+    reference_records = traced_chain_records(use_kernel=False)
+    kernel_records = traced_chain_records(use_kernel=True)
+    drift = diff_semantic_profiles(
+        semantic_profile(reference_records), semantic_profile(kernel_records)
+    )
     return {
         "chain": f"mis_delta{MIS_CHAIN_DELTA}_steps{MIS_CHAIN_STEPS}",
         "reference_seconds": round(reference_seconds, 4),
         "kernel_seconds": round(kernel_seconds, 4),
         "speedup": round(reference_seconds / kernel_seconds, 2),
+        "counters": {
+            "reference": total_counters(reference_records),
+            "kernel": total_counters(kernel_records),
+        },
+        "semantic_drift": drift,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
     }
 
@@ -113,7 +150,12 @@ def record() -> None:
 
 
 def quick_gate() -> int:
-    """Single measurement vs. the best recorded ratio; 0 = pass."""
+    """Single measurement vs. the best recorded ratio; 0 = pass.
+
+    Also fails on any semantic-counter drift between the engines —
+    the differential contract checked for free while we have the
+    traced runs in hand.
+    """
     entry = measure_chain(rounds=1)
     trajectory = load_trajectory()
     print(
@@ -121,6 +163,20 @@ def quick_gate() -> int:
         f"(reference {entry['reference_seconds']}s, "
         f"kernel {entry['kernel_seconds']}s)"
     )
+    for engine in ("reference", "kernel"):
+        counters = " ".join(
+            f"{counter}={value}"
+            for counter, value in entry["counters"][engine].items()
+        )
+        print(f"{engine} counters: {counters}")
+    if entry["semantic_drift"]:
+        for line in entry["semantic_drift"]:
+            print(f"  {line}")
+        print(
+            "error: semantic counters drifted between reference and kernel",
+            file=sys.stderr,
+        )
+        return 1
     if not trajectory:
         print("no recorded trajectory - nothing to compare against")
         return 0
@@ -129,20 +185,32 @@ def quick_gate() -> int:
     print(f"best recorded: {best}x, regression floor: {floor:.2f}x")
     if entry["speedup"] < floor:
         print(
-            f"FAIL: kernel speedup regressed more than "
-            f"{REGRESSION_FACTOR}x below the best recorded ratio"
+            f"error: kernel speedup regressed more than "
+            f"{REGRESSION_FACTOR}x below the best recorded ratio",
+            file=sys.stderr,
         )
         return 1
     print("PASS")
     return 0
 
 
-def main() -> int:
-    if "--quick" in sys.argv[1:]:
-        return quick_gate()
-    record()
-    return 0
+def main(argv: list[str]) -> int:
+    quick = False
+    for argument in argv:
+        if argument == "--quick":
+            quick = True
+        else:
+            print(f"error: unknown option {argument}", file=sys.stderr)
+            return 2
+    try:
+        if quick:
+            return quick_gate()
+        record()
+        return 0
+    except Exception as error:  # any measurement failure must exit non-zero
+        print(f"error: benchmark failed: {error}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(main(sys.argv[1:]))

@@ -2,6 +2,7 @@
 
 Run:  python examples/full_certificate.py [delta] [k]
           [--checkpoint DIR] [--max-alphabet N] [--wall-clock S]
+          [--trace out.jsonl] [--metrics]
 
 Produces a :class:`LowerBoundCertificate`: the Section 2.4 roadmap
 executed end to end — chain arithmetic, Theorem 14 premises, Lemma 6's
@@ -15,11 +16,14 @@ certificate byte-identical to an uninterrupted run.  With
 ``--max-alphabet N`` the engine check runs under an alphabet budget
 and, when it trips, degrades the problem via automatic simplification
 — every degradation rung appears in the certificate's provenance.
+``--trace`` writes the run's span trace as JSON lines; ``--metrics``
+prints the per-phase counter table at the end.
 """
 
 import sys
 
 from repro.lowerbound.certificate import build_certificate
+from repro.observability.cli import cli_tracing
 from repro.robustness.budget import Budget
 from repro.robustness.checkpointing import CheckpointStore
 
@@ -35,6 +39,8 @@ def parse_arguments(argv: list[str]):
     checkpoint_dir = None
     max_alphabet = None
     wall_clock = None
+    trace_path = None
+    metrics = False
     index = 0
     while index < len(argv):
         argument = argv[index]
@@ -47,6 +53,11 @@ def parse_arguments(argv: list[str]):
         elif argument == "--wall-clock":
             wall_clock = float(_flag_value(argv, index))
             index += 1
+        elif argument == "--trace":
+            trace_path = _flag_value(argv, index)
+            index += 1
+        elif argument == "--metrics":
+            metrics = True
         elif argument.startswith("--"):
             raise SystemExit(f"error: unknown option {argument}")
         else:
@@ -54,20 +65,22 @@ def parse_arguments(argv: list[str]):
         index += 1
     delta = int(positional[0]) if positional else 8
     k = int(positional[1]) if len(positional) > 1 else 0
-    return delta, k, checkpoint_dir, max_alphabet, wall_clock
+    return delta, k, checkpoint_dir, max_alphabet, wall_clock, trace_path, metrics
 
 
 def main() -> None:
-    delta, k, checkpoint_dir, max_alphabet, wall_clock = parse_arguments(
-        sys.argv[1:]
-    )
+    (
+        delta, k, checkpoint_dir, max_alphabet, wall_clock,
+        trace_path, metrics,
+    ) = parse_arguments(sys.argv[1:])
     store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
     budget = None
     if max_alphabet is not None or wall_clock is not None:
         budget = Budget(
             max_alphabet=max_alphabet, wall_clock_seconds=wall_clock
         )
-    certificate = build_certificate(delta, k, store=store, budget=budget)
+    with cli_tracing(trace_path, metrics):
+        certificate = build_certificate(delta, k, store=store, budget=budget)
     print(certificate.render())
     if certificate.degraded:
         print(

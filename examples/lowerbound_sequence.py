@@ -2,6 +2,7 @@
 
 Run:  python examples/lowerbound_sequence.py [delta] [k]
           [--checkpoint DIR] [--max-chain-steps N] [--wall-clock S]
+          [--trace out.jsonl] [--metrics]
 
 Builds the sequence Pi_i = Pi_Delta(floor(Delta / 2^(3i)), k + i),
 checks every side condition (Corollary 10, Lemma 11's direction, the
@@ -13,7 +14,9 @@ numbers.
 With ``--checkpoint DIR`` the chain construction is restartable: the
 completed prefix is persisted after every step, so a killed run (a
 budget trip, a crash, Ctrl-C) resumes from where it stopped and
-produces output identical to an uninterrupted run.
+produces output identical to an uninterrupted run.  ``--trace`` writes
+the run's span trace as JSON lines; ``--metrics`` prints the per-phase
+counter table at the end.
 """
 
 import sys
@@ -26,6 +29,7 @@ from repro.lowerbound.lift import (
     verify_theorem14_premises,
 )
 from repro.lowerbound.sequence import run_chain, verify_chain_arithmetic
+from repro.observability.cli import cli_tracing
 from repro.robustness.budget import Budget
 from repro.robustness.checkpointing import CheckpointStore
 
@@ -41,6 +45,8 @@ def parse_arguments(argv: list[str]):
     checkpoint_dir = None
     max_chain_steps = None
     wall_clock = None
+    trace_path = None
+    metrics = False
     index = 0
     while index < len(argv):
         argument = argv[index]
@@ -53,6 +59,11 @@ def parse_arguments(argv: list[str]):
         elif argument == "--wall-clock":
             wall_clock = float(_flag_value(argv, index))
             index += 1
+        elif argument == "--trace":
+            trace_path = _flag_value(argv, index)
+            index += 1
+        elif argument == "--metrics":
+            metrics = True
         elif argument.startswith("--"):
             raise SystemExit(f"error: unknown option {argument}")
         else:
@@ -60,13 +71,14 @@ def parse_arguments(argv: list[str]):
         index += 1
     delta = int(positional[0]) if positional else 2**9
     k = int(positional[1]) if len(positional) > 1 else 0
-    return delta, k, checkpoint_dir, max_chain_steps, wall_clock
+    return delta, k, checkpoint_dir, max_chain_steps, wall_clock, trace_path, metrics
 
 
 def main() -> None:
-    delta, k, checkpoint_dir, max_chain_steps, wall_clock = parse_arguments(
-        sys.argv[1:]
-    )
+    (
+        delta, k, checkpoint_dir, max_chain_steps, wall_clock,
+        trace_path, metrics,
+    ) = parse_arguments(sys.argv[1:])
     store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
     budget = None
     if max_chain_steps is not None or wall_clock is not None:
@@ -74,7 +86,8 @@ def main() -> None:
             max_chain_steps=max_chain_steps, wall_clock_seconds=wall_clock
         )
 
-    result = run_chain(delta, k, store=store, budget=budget)
+    with cli_tracing(trace_path, metrics):
+        result = run_chain(delta, k, store=store, budget=budget)
     chain = result.chain
     print(f"Lemma 13 chain for Delta = {delta}, k = {k}:")
     for step in chain:

@@ -1,6 +1,7 @@
 """A tiny round-eliminator CLI, in the spirit of Olivetti's tool [36].
 
 Run:  python examples/round_eliminator_cli.py [steps] [--kernel [--workers N]]
+          [--trace out.jsonl] [--metrics]
 
 Reads a problem from stdin in the paper's condensed syntax — node
 configurations, a blank line, then edge configurations — and applies
@@ -10,6 +11,8 @@ constraint.  With no stdin input, demonstrates on sinkless orientation.
 ``--kernel`` routes the operators through the interned bitmask fast
 path (identical output, measured in benchmarks/bench_kernel.py), and
 ``--workers N`` additionally parallelizes the Rbar maximization DFS.
+``--trace out.jsonl`` writes the run's span trace as JSON lines and
+``--metrics`` prints the per-phase counter table after the run.
 
 Example input (MIS, Delta = 3):
 
@@ -26,6 +29,7 @@ from repro.core.diagram import edge_diagram, node_diagram
 from repro.core.problem import Problem
 from repro.core.round_elimination import speedup
 from repro.core.solvability import zero_round_solvable_pn
+from repro.observability.cli import cli_tracing
 from repro.problems.classic import sinkless_orientation_problem
 
 
@@ -51,6 +55,8 @@ def main() -> None:
     arguments = sys.argv[1:]
     use_kernel = False
     workers = None
+    trace_path = None
+    metrics = False
     positional: list[str] = []
     index = 0
     while index < len(arguments):
@@ -67,6 +73,13 @@ def main() -> None:
                     f"error: --workers expects an integer, got {arguments[index + 1]!r}"
                 )
             index += 1
+        elif argument == "--trace":
+            if index + 1 >= len(arguments):
+                raise SystemExit("error: --trace requires a path")
+            trace_path = arguments[index + 1]
+            index += 1
+        elif argument == "--metrics":
+            metrics = True
         elif argument.startswith("-"):
             raise SystemExit(f"error: unknown option {argument}")
         else:
@@ -84,22 +97,25 @@ def main() -> None:
         problem = sinkless_orientation_problem(3)
     if use_kernel:
         print("(engine: kernel fast path" + (f", {workers} workers)" if workers else ")"))
-    for step_index in range(steps + 1):
-        print(f"=== step {step_index} ===")
-        print(problem.render())
-        print("edge diagram:")
-        print(edge_diagram(problem).render() or "  (no relations)")
-        print("node diagram:")
-        print(node_diagram(problem).render() or "  (no relations)")
-        print(
-            "0-round solvable (PN):",
-            zero_round_solvable_pn(problem, use_kernel=use_kernel),
-        )
-        print()
-        if step_index == steps:
-            break
-        problem = speedup(problem, use_kernel=use_kernel, workers=workers).problem
-        problem.name = f"step {step_index + 1}"
+    with cli_tracing(trace_path, metrics):
+        for step_index in range(steps + 1):
+            print(f"=== step {step_index} ===")
+            print(problem.render())
+            print("edge diagram:")
+            print(edge_diagram(problem).render() or "  (no relations)")
+            print("node diagram:")
+            print(node_diagram(problem).render() or "  (no relations)")
+            print(
+                "0-round solvable (PN):",
+                zero_round_solvable_pn(problem, use_kernel=use_kernel),
+            )
+            print()
+            if step_index == steps:
+                break
+            problem = speedup(
+                problem, use_kernel=use_kernel, workers=workers
+            ).problem
+            problem.name = f"step {step_index + 1}"
 
 
 if __name__ == "__main__":

@@ -50,6 +50,7 @@ from repro.core.kernel.bitops import (
 from repro.core.kernel.interning import LabelInterner
 from repro.core.labels import Alphabet, render_label
 from repro.core.problem import Problem
+from repro.observability import trace as _trace
 from repro.robustness import budget as _budget
 from repro.robustness.errors import InvalidProblem
 
@@ -104,8 +105,11 @@ class KernelProblem:
         """The interned view, memoized on the problem instance."""
         cached = problem._kernel_cache
         if cached is None:
+            _trace.add("kernel.cache.miss")
             cached = cls(problem)
             problem._kernel_cache = cached
+        else:
+            _trace.add("kernel.cache.hit")
         return cached
 
     # -- Galois connection of the edge constraint ------------------------
@@ -114,7 +118,9 @@ class KernelProblem:
         """``f(A) = {b : ab allowed for all a in A}`` as a mask AND."""
         cached = self._partner_cache.get(mask)
         if cached is not None:
+            _trace.add("galois.cache.hit")
             return cached
+        _trace.add("galois.cache.miss")
         if mask == 0:
             result = 0
         else:
@@ -268,6 +274,7 @@ def maximize_edge_constraint_kernel(problem: Problem) -> Constraint:
     """Kernel twin of :func:`repro.core.round_elimination.maximize_edge_constraint`."""
     kernel = KernelProblem.of(problem)
     interner = kernel.interner
+    _trace.add("edge.closed_sets", len(kernel.galois_closed_sets()))
     configurations: set[Configuration] = set()
     for left in kernel.galois_closed_sets():
         right = kernel.partner(left)
@@ -428,6 +435,7 @@ def maximize_node_constraint_kernel(
     kernel = KernelProblem.of(problem)
     interner = kernel.interner
     candidates = kernel.node_right_closed_sets()
+    _trace.add("node.right_closed_sets", len(candidates))
     shift = kernel.delta.bit_length()
     member_steps = tuple(
         tuple(1 << (shift * label_id) for label_id in iter_bits(mask))
@@ -539,26 +547,42 @@ def existential_constraint_kernel(
 
 def kernel_R(problem: Problem) -> Problem:
     """Kernel twin of :func:`repro.core.round_elimination.R`."""
-    edge_constraint = maximize_edge_constraint_kernel(problem)
-    sigma = sorted(edge_constraint.labels_used(), key=_set_sort_key)
-    _budget.check_alphabet(
-        len(sigma), operator="R", alphabet_before=len(problem.alphabet)
-    )
-    node_constraint = existential_constraint_kernel(
-        problem.node_constraint, sigma, problem.delta
-    )
+    with _trace.span(
+        "op.R", engine="kernel", problem=problem.name, delta=problem.delta
+    ) as span:
+        span.add("labels.in", len(problem.alphabet))
+        edge_constraint = maximize_edge_constraint_kernel(problem)
+        sigma = sorted(edge_constraint.labels_used(), key=_set_sort_key)
+        _budget.check_alphabet(
+            len(sigma), operator="R", alphabet_before=len(problem.alphabet)
+        )
+        node_constraint = existential_constraint_kernel(
+            problem.node_constraint, sigma, problem.delta
+        )
+        span.add("labels.out", len(sigma))
+        span.add("node.configs.out", len(node_constraint))
+        span.add("edge.configs.out", len(edge_constraint))
     name = f"R({problem.name})" if problem.name else "R"
     return Problem(Alphabet(sigma), node_constraint, edge_constraint, name=name)
 
 
 def kernel_Rbar(problem: Problem, *, workers: int | None = None) -> Problem:
     """Kernel twin of :func:`repro.core.round_elimination.Rbar`."""
-    node_constraint = maximize_node_constraint_kernel(problem, workers=workers)
-    sigma = sorted(node_constraint.labels_used(), key=_set_sort_key)
-    _budget.check_alphabet(
-        len(sigma), operator="Rbar", alphabet_before=len(problem.alphabet)
-    )
-    edge_constraint = existential_constraint_kernel(problem.edge_constraint, sigma, 2)
+    with _trace.span(
+        "op.Rbar", engine="kernel", problem=problem.name, delta=problem.delta
+    ) as span:
+        span.add("labels.in", len(problem.alphabet))
+        node_constraint = maximize_node_constraint_kernel(problem, workers=workers)
+        sigma = sorted(node_constraint.labels_used(), key=_set_sort_key)
+        _budget.check_alphabet(
+            len(sigma), operator="Rbar", alphabet_before=len(problem.alphabet)
+        )
+        edge_constraint = existential_constraint_kernel(
+            problem.edge_constraint, sigma, 2
+        )
+        span.add("labels.out", len(sigma))
+        span.add("node.configs.out", len(node_constraint))
+        span.add("edge.configs.out", len(edge_constraint))
     name = f"Rbar({problem.name})" if problem.name else "Rbar"
     return Problem(Alphabet(sigma), node_constraint, edge_constraint, name=name)
 

@@ -19,6 +19,15 @@ count.  Wall-clock budgets, configuration caps, and injected faults
 therefore still trip in parallel mode, at chunk granularity rather than
 per DFS node.  Callers who need per-node enforcement should stay on the
 serial path (``workers=None``).
+
+Tracing interplay (the observability layer): a ``Tracer`` likewise
+never crosses the process boundary.  When the parent has an ambient
+tracer, the initializer ships a boolean flag; each worker then records
+its chunk into a *local* tracer and returns the finished records
+alongside the results, and the parent grafts them under its open span
+(:meth:`~repro.observability.trace.Tracer.graft`) — so chunk spans
+appear in the parent's trace tree with per-chunk counters, while an
+untraced run ships nothing extra at all.
 """
 
 from __future__ import annotations
@@ -26,6 +35,7 @@ from __future__ import annotations
 import multiprocessing
 
 from repro.core.kernel.engine import search_maximization_chunk
+from repro.observability import trace as _trace
 from repro.robustness import budget as _budget
 
 _WORKER_TABLES: tuple | None = None
@@ -36,11 +46,23 @@ def _initialize_worker(tables: tuple) -> None:
     _WORKER_TABLES = tables
 
 
-def _run_chunk(first_index: int) -> list[tuple[int, ...]]:
-    candidates, member_steps, closure, arity = _WORKER_TABLES
-    return search_maximization_chunk(
-        candidates, member_steps, closure, arity, first_index
-    )
+def _run_chunk(first_index: int) -> tuple[list[tuple[int, ...]], list[dict] | None]:
+    candidates, member_steps, closure, arity, traced = _WORKER_TABLES
+    if not traced:
+        return (
+            search_maximization_chunk(
+                candidates, member_steps, closure, arity, first_index
+            ),
+            None,
+        )
+    tracer = _trace.Tracer()
+    with _trace.tracing(tracer):
+        with _trace.span("kernel.chunk", first_index=first_index) as span:
+            chunk = search_maximization_chunk(
+                candidates, member_steps, closure, arity, first_index
+            )
+            span.add("mp.chunk_results", len(chunk))
+    return chunk, tracer.records
 
 
 def search_maximization_parallel(
@@ -56,7 +78,8 @@ def search_maximization_parallel(
     Falls back to in-process execution when only one chunk exists or
     the pool cannot be created (restricted environments).
     """
-    tables = (candidates, member_steps, closure, arity)
+    traced = _trace.tracing_enabled()
+    tables = (candidates, member_steps, closure, arity, traced)
     chunk_indices = range(len(candidates))
     results: list[tuple[int, ...]] = []
     try:
@@ -71,20 +94,29 @@ def search_maximization_parallel(
             _budget.check_configurations(
                 len(results), phase="node-maximization", chunk=first_index
             )
-            results.extend(
-                search_maximization_chunk(
-                    candidates, member_steps, closure, arity, first_index
-                )
+            chunk = search_maximization_chunk(
+                candidates, member_steps, closure, arity, first_index
             )
+            _trace.add("mp.chunks")
+            _trace.add("mp.chunk_results", len(chunk))
+            results.extend(chunk)
         return results
     try:
-        for first_index, chunk in enumerate(pool.imap(_run_chunk, chunk_indices)):
+        for first_index, (chunk, records) in enumerate(
+            pool.imap(_run_chunk, chunk_indices)
+        ):
             _budget.check_configurations(
                 len(results),
                 phase="node-maximization",
                 chunk=first_index,
                 parallel_workers=workers,
             )
+            _trace.add("mp.chunks")
+            _trace.add("mp.chunk_results", len(chunk))
+            if records is not None:
+                tracer = _trace.active_tracer()
+                if tracer is not None:
+                    tracer.graft(records)
             results.extend(chunk)
     finally:
         pool.terminate()

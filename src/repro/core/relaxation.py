@@ -28,6 +28,7 @@ from collections.abc import Hashable, Iterable
 from repro.core.configurations import Configuration
 from repro.core.diagram import Diagram
 from repro.core.problem import Problem
+from repro.observability import trace as _trace
 from repro.robustness import budget as _budget
 
 
@@ -112,12 +113,19 @@ def find_label_relabeling(
     ``use_kernel=True`` runs the interned-id search instead (same
     existence answer; the returned witness may differ).
     """
-    if use_kernel:
-        from repro.core.kernel.engine import find_label_relabeling_kernel
-
-        return find_label_relabeling_kernel(source, target)
     if source.delta != target.delta:
         return None
+    engine = "kernel" if use_kernel else "reference"
+    with _trace.span("op.relabeling", engine=engine, delta=source.delta) as span:
+        span.add("labels.in", len(source.alphabet))
+        if use_kernel:
+            from repro.core.kernel.engine import find_label_relabeling_kernel
+
+            return find_label_relabeling_kernel(source, target)
+        return _find_label_relabeling_reference(source, target)
+
+
+def _find_label_relabeling_reference(source: Problem, target: Problem) -> dict | None:
     source_labels = list(source.alphabet)
     target_labels = list(target.alphabet)
     mapping: dict = {}

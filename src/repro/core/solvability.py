@@ -27,6 +27,7 @@ from fractions import Fraction
 
 from repro.core.configurations import Configuration
 from repro.core.problem import Problem
+from repro.observability import trace as _trace
 
 
 def zero_round_solvable_pn(problem: Problem, *, use_kernel: bool = False) -> bool:
@@ -39,11 +40,18 @@ def zero_round_solvable_pn(problem: Problem, *, use_kernel: bool = False) -> boo
     bitmasks (support mask contained in every member's compatibility
     mask).
     """
-    if use_kernel:
-        from repro.core.kernel.engine import zero_round_solvable_pn_kernel
+    with _trace.span(
+        "op.zero_round_pn",
+        engine="kernel" if use_kernel else "reference",
+        problem=problem.name,
+        delta=problem.delta,
+    ) as span:
+        span.add("labels.in", len(problem.alphabet))
+        if use_kernel:
+            from repro.core.kernel.engine import zero_round_solvable_pn_kernel
 
-        return zero_round_solvable_pn_kernel(problem)
-    return _pn_witness(problem) is not None
+            return zero_round_solvable_pn_kernel(problem)
+        return _pn_witness(problem) is not None
 
 
 def zero_round_witness_pn(problem: Problem) -> Configuration | None:
@@ -77,11 +85,20 @@ def zero_round_solvable_symmetric(
     ``use_kernel=True`` checks support masks against the
     self-compatible mask instead of iterating label sets.
     """
-    if use_kernel:
-        from repro.core.kernel.engine import zero_round_solvable_symmetric_kernel
+    with _trace.span(
+        "op.zero_round_symmetric",
+        engine="kernel" if use_kernel else "reference",
+        problem=problem.name,
+        delta=problem.delta,
+    ) as span:
+        span.add("labels.in", len(problem.alphabet))
+        if use_kernel:
+            from repro.core.kernel.engine import (
+                zero_round_solvable_symmetric_kernel,
+            )
 
-        return zero_round_solvable_symmetric_kernel(problem)
-    return _symmetric_witness(problem) is not None
+            return zero_round_solvable_symmetric_kernel(problem)
+        return _symmetric_witness(problem) is not None
 
 
 def zero_round_witness_symmetric(problem: Problem) -> Configuration | None:

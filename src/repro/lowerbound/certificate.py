@@ -47,6 +47,8 @@ from repro.lowerbound.lift import (
     verify_theorem14_premises,
 )
 from repro.lowerbound.sequence import lemma13_chain, verify_chain_arithmetic
+from repro.observability import trace as _trace
+from repro.observability.metrics import trace_summary_line
 from repro.robustness.budget import Budget
 from repro.robustness.checkpointing import CheckpointStore
 from repro.robustness.errors import SimplificationFailed
@@ -155,113 +157,138 @@ def build_certificate(
     stage_name = _certificate_stage_name(delta, k)
     completed: set[str] = set()
 
-    if store is not None:
-        state, corruption = store.load_or_discard(stage_name)
-        if corruption is not None:
-            state = None
-        if (
-            state is not None
-            and state.get("delta") == delta
-            and state.get("k") == k
-            and state.get("n") == n
-        ):
-            completed = set(state.get("completed", ()))
-            certificate.chain_length = state["chain_length"]
-            certificate.deterministic_bound = state["deterministic_bound"]
-            certificate.randomized_bound = state["randomized_bound"]
-            certificate.checks.update(state.get("checks", {}))
-            certificate.skipped.extend(state.get("skipped", ()))
-            certificate.provenance.extend(state.get("provenance", ()))
-
-    def persist(stage: str) -> None:
-        completed.add(stage)
+    with _trace.span("certificate.build", delta=delta, k=k) as build_span:
         if store is not None:
-            payload = certificate.to_dict()
-            payload["completed"] = sorted(completed)
-            store.save(stage_name, payload)
+            state, corruption = store.load_or_discard(stage_name)
+            if corruption is not None:
+                state = None
+            if (
+                state is not None
+                and state.get("delta") == delta
+                and state.get("k") == k
+                and state.get("n") == n
+            ):
+                completed = set(state.get("completed", ()))
+                certificate.chain_length = state["chain_length"]
+                certificate.deterministic_bound = state["deterministic_bound"]
+                certificate.randomized_bound = state["randomized_bound"]
+                certificate.checks.update(state.get("checks", {}))
+                certificate.skipped.extend(state.get("skipped", ()))
+                certificate.provenance.extend(state.get("provenance", ()))
+                if completed:
+                    build_span.set_attr("resumed", True)
+                    build_span.set_attr(
+                        "resumed_stages", sorted(completed)
+                    )
 
-    chain = lemma13_chain(delta, k)
-    if "chain" not in completed:
-        if budget is not None:
-            budget.checkpoint(stage="chain")
-        certificate.chain_length = max(len(chain) - 1, 0)
-        checks["lemma13 chain arithmetic"] = _safe(
-            lambda: verify_chain_arithmetic(chain)
+        def persist(stage: str) -> None:
+            completed.add(stage)
+            if store is not None:
+                payload = certificate.to_dict()
+                payload["completed"] = sorted(completed)
+                store.save(stage_name, payload)
+            _trace.event("certificate.stage", stage=stage)
+
+        chain = lemma13_chain(delta, k)
+        if "chain" not in completed:
+            if budget is not None:
+                budget.checkpoint(stage="chain")
+            certificate.chain_length = max(len(chain) - 1, 0)
+            checks["lemma13 chain arithmetic"] = _safe(
+                lambda: verify_chain_arithmetic(chain)
+            )
+            premises = verify_theorem14_premises(chain)
+            checks["theorem14 premises"] = premises.ok
+            certificate.deterministic_bound = theorem1_deterministic_bound(
+                n, delta, k
+            )
+            certificate.randomized_bound = theorem1_randomized_bound(n, delta, k)
+            persist("chain")
+
+        # Lemma-level verification on a representative chain step.
+        representative = next(
+            (step for step in chain if step.x + 2 <= step.a <= step.delta), None
         )
-        premises = verify_theorem14_premises(chain)
-        checks["theorem14 premises"] = premises.ok
-        certificate.deterministic_bound = theorem1_deterministic_bound(
-            n, delta, k
-        )
-        certificate.randomized_bound = theorem1_randomized_bound(n, delta, k)
-        persist("chain")
-
-    # Lemma-level verification on a representative chain step.
-    representative = next(
-        (step for step in chain if step.x + 2 <= step.a <= step.delta), None
-    )
-    if representative is None:
-        if "no-representative" not in completed:
-            certificate.skipped.append(
-                "lemma 6/8/9 (no step in the valid range)"
-            )
-            persist("no-representative")
-        return certificate
-    a, x = representative.a, representative.x
-
-    if "lemma6-8" not in completed:
-        if budget is not None:
-            budget.checkpoint(stage="lemma6-8")
-        if delta <= ARGUMENT_VERIFICATION_LIMIT:
-            checks["lemma6 normal form"] = _safe(
-                lambda: verify_lemma6(delta, a, x)
-            )
-            checks["lemma8 case analysis"] = _safe(
-                lambda: verify_lemma8_argument(delta, a, x).ok
-            )
+        if representative is None:
+            if "no-representative" not in completed:
+                certificate.skipped.append(
+                    "lemma 6/8/9 (no step in the valid range)"
+                )
+                persist("no-representative")
         else:
-            certificate.skipped.append("lemma 6/8 expansion")
-        persist("lemma6-8")
+            a, x = representative.a, representative.x
 
-    if "lemma8-direct" not in completed:
-        if budget is not None:
-            budget.checkpoint(stage="lemma8-direct")
-        if delta <= DIRECT_VERIFICATION_LIMIT:
-            checks["lemma8 direct Rbar"] = _safe(
-                lambda: verify_lemma8_direct(delta, a, x)
-            )
-        else:
-            certificate.skipped.append("lemma8 direct Rbar")
-        persist("lemma8-direct")
+            if "lemma6-8" not in completed:
+                if budget is not None:
+                    budget.checkpoint(stage="lemma6-8")
+                if delta <= ARGUMENT_VERIFICATION_LIMIT:
+                    checks["lemma6 normal form"] = _safe(
+                        lambda: verify_lemma6(delta, a, x)
+                    )
+                    checks["lemma8 case analysis"] = _safe(
+                        lambda: verify_lemma8_argument(delta, a, x).ok
+                    )
+                else:
+                    certificate.skipped.append("lemma 6/8 expansion")
+                persist("lemma6-8")
 
-    if "governed-speedup" not in completed:
-        if budget is not None and budget.max_alphabet is not None:
-            budget.checkpoint(stage="governed-speedup")
-            _governed_engine_check(certificate, budget, delta, a, x)
-        persist("governed-speedup")
+            if "lemma8-direct" not in completed:
+                if budget is not None:
+                    budget.checkpoint(stage="lemma8-direct")
+                if delta <= DIRECT_VERIFICATION_LIMIT:
+                    checks["lemma8 direct Rbar"] = _safe(
+                        lambda: verify_lemma8_direct(delta, a, x)
+                    )
+                else:
+                    certificate.skipped.append("lemma8 direct Rbar")
+                persist("lemma8-direct")
 
-    if "lemma9" not in completed:
-        if budget is not None:
-            budget.checkpoint(stage="lemma9")
-        if delta <= ARGUMENT_VERIFICATION_LIMIT and 2 * x + 1 <= a and a >= x + 2:
-            checks["lemma9 conversion"] = _safe(
-                lambda: _lemma9_witness(delta, a, x)
-            )
-        else:
-            certificate.skipped.append("lemma9 witness")
-        persist("lemma9")
+            if "governed-speedup" not in completed:
+                if budget is not None and budget.max_alphabet is not None:
+                    budget.checkpoint(stage="governed-speedup")
+                    _governed_engine_check(certificate, budget, delta, a, x)
+                persist("governed-speedup")
 
-    if "lemma5" not in completed:
-        if budget is not None:
-            budget.checkpoint(stage="lemma5")
-        if delta <= INSTANCE_LIMIT:
-            checks["lemma5 instance witness"] = _safe(
-                lambda: _lemma5_witness(delta, k)
-            )
-        else:
-            certificate.skipped.append("lemma5 instance witness")
-        persist("lemma5")
+            if "lemma9" not in completed:
+                if budget is not None:
+                    budget.checkpoint(stage="lemma9")
+                if (
+                    delta <= ARGUMENT_VERIFICATION_LIMIT
+                    and 2 * x + 1 <= a
+                    and a >= x + 2
+                ):
+                    checks["lemma9 conversion"] = _safe(
+                        lambda: _lemma9_witness(delta, a, x)
+                    )
+                else:
+                    certificate.skipped.append("lemma9 witness")
+                persist("lemma9")
+
+            if "lemma5" not in completed:
+                if budget is not None:
+                    budget.checkpoint(stage="lemma5")
+                if delta <= INSTANCE_LIMIT:
+                    checks["lemma5 instance witness"] = _safe(
+                        lambda: _lemma5_witness(delta, k)
+                    )
+                else:
+                    certificate.skipped.append("lemma5 instance witness")
+                persist("lemma5")
+    _append_trace_summary(certificate)
     return certificate
+
+
+def _append_trace_summary(certificate: LowerBoundCertificate) -> None:
+    """Record a one-line trace digest in the certificate's provenance.
+
+    Runs only after the final checkpoint write: the digest differs
+    between resumed and uninterrupted runs (counters only cover the
+    replayed work), so it must never be persisted, or resumed
+    checkpoints would stop being byte-identical.
+    """
+    tracer = _trace.active_tracer()
+    if tracer is not None:
+        certificate.provenance.append(trace_summary_line(tracer.records))
 
 
 def _governed_engine_check(

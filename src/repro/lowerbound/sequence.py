@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 from repro.core.problem import Problem
 from repro.core.solvability import zero_round_solvable_symmetric
 from repro.lowerbound.lemma9 import lemma9_target_a
+from repro.observability import trace as _trace
+from repro.observability.metrics import trace_summary_line
 from repro.problems.family import family_problem
 from repro.robustness import budget as _budget
 from repro.robustness.budget import Budget, governed
@@ -156,72 +158,96 @@ def run_chain(
     chain: list[ChainStep] = []
     resumed_from: int | None = None
     provenance: list[str] = []
-    if store is not None:
-        state, corruption = store.load_or_discard(stage)
-        if corruption is not None:
-            provenance.append(
-                f"discarded corrupt checkpoint {stage!r}: {corruption.message}"
-            )
-        if (
-            state is not None
-            and state.get("delta") == delta
-            and state.get("x") == x
-        ):
-            chain = [ChainStep.from_dict(item) for item in state["steps"]]
-            resumed_from = len(chain)
-            if state.get("complete"):
-                return ChainRunResult(
-                    chain=chain,
-                    complete=True,
-                    resumed_from_step=resumed_from,
-                    provenance=provenance,
-                )
-
-    def persist(complete: bool) -> None:
+    with _trace.span(
+        "chain.run", delta=delta, x=x,
+        engine="kernel" if use_kernel else "reference",
+    ) as chain_span:
         if store is not None:
-            store.save(
-                stage,
-                {
-                    "delta": delta,
-                    "x": x,
-                    "steps": [step.to_dict() for step in chain],
-                    "complete": complete,
-                },
-            )
-
-    if verify_steps:
-        provenance.append(
-            "per-step Lemma 12 checks via "
-            + ("kernel engine" if use_kernel else "reference engine")
-        )
-    with governed(budget):
-        while True:
-            if chain and not chain[-1].speedup_conditions_hold():
-                break
-            index = len(chain)
-            a_i = delta // (2 ** (3 * index))
-            x_i = x + index
-            if a_i < 1 or x_i > delta - 1:
-                break
-            _budget.check_chain_step(
-                index, phase="chain-run", a=a_i, x=x_i
-            )
-            step = ChainStep(index=index, delta=delta, a=a_i, x=x_i)
-            if verify_steps and step_zero_round_solvable(
-                step, use_kernel=use_kernel
-            ):
-                raise AssertionError(
-                    f"{step.render()} is 0-round solvable (Lemma 12 fails)"
+            state, corruption = store.load_or_discard(stage)
+            if corruption is not None:
+                provenance.append(
+                    f"discarded corrupt checkpoint {stage!r}: {corruption.message}"
                 )
-            chain.append(step)
-            persist(complete=False)
-    persist(complete=True)
+            if (
+                state is not None
+                and state.get("delta") == delta
+                and state.get("x") == x
+            ):
+                chain = [ChainStep.from_dict(item) for item in state["steps"]]
+                resumed_from = len(chain)
+                chain_span.set_attr("resumed", True)
+                chain_span.set_attr("resumed_from_step", resumed_from)
+                if state.get("complete"):
+                    chain_span.add("chain.steps", len(chain))
+                    _append_trace_summary(provenance)
+                    return ChainRunResult(
+                        chain=chain,
+                        complete=True,
+                        resumed_from_step=resumed_from,
+                        provenance=provenance,
+                    )
+                chain_span.add("chain.steps", len(chain))
+
+        def persist(complete: bool) -> None:
+            if store is not None:
+                store.save(
+                    stage,
+                    {
+                        "delta": delta,
+                        "x": x,
+                        "steps": [step.to_dict() for step in chain],
+                        "complete": complete,
+                    },
+                )
+
+        if verify_steps:
+            provenance.append(
+                "per-step Lemma 12 checks via "
+                + ("kernel engine" if use_kernel else "reference engine")
+            )
+        with governed(budget):
+            while True:
+                if chain and not chain[-1].speedup_conditions_hold():
+                    break
+                index = len(chain)
+                a_i = delta // (2 ** (3 * index))
+                x_i = x + index
+                if a_i < 1 or x_i > delta - 1:
+                    break
+                _budget.check_chain_step(
+                    index, phase="chain-run", a=a_i, x=x_i
+                )
+                step = ChainStep(index=index, delta=delta, a=a_i, x=x_i)
+                if verify_steps and step_zero_round_solvable(
+                    step, use_kernel=use_kernel
+                ):
+                    raise AssertionError(
+                        f"{step.render()} is 0-round solvable (Lemma 12 fails)"
+                    )
+                chain.append(step)
+                chain_span.add("chain.steps")
+                _trace.event("chain.step", index=index, a=a_i, x=x_i)
+                persist(complete=False)
+        persist(complete=True)
+    _append_trace_summary(provenance)
     return ChainRunResult(
         chain=chain,
         complete=True,
         resumed_from_step=resumed_from,
         provenance=provenance,
     )
+
+
+def _append_trace_summary(provenance: list[str]) -> None:
+    """Add a one-line trace digest to a provenance trail.
+
+    Called only after the final checkpoint write, so the (run-specific,
+    resume-dependent) summary never lands in persisted state — resumed
+    runs stay byte-identical to uninterrupted ones on disk.
+    """
+    tracer = _trace.active_tracer()
+    if tracer is not None:
+        provenance.append(trace_summary_line(tracer.records))
 
 
 def verify_chain_arithmetic(

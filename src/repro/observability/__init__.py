@@ -1,0 +1,56 @@
+"""Zero-dependency observability: tracing, metrics, profiling hooks.
+
+The third leg of the engine's operational story, after resource
+governance (:mod:`repro.robustness`) and the kernel fast path
+(:mod:`repro.core.kernel`): a structured view *inside* a run.
+
+* :mod:`repro.observability.trace` — span trees with an ambient
+  context (install with :func:`tracing`, instrument with the guarded
+  module-level helpers), monotone per-span counters, wall-clock and
+  peak-RSS capture, JSON-lines export.
+* :mod:`repro.observability.schema` — the stable trace record schema,
+  its validator, and the semantic-vs-timing counter split the
+  differential tests rely on.
+* :mod:`repro.observability.metrics` — aggregation of finished traces:
+  per-phase tables, counter totals, semantic profiles and their diffs.
+
+Tracing is off by default; with no ambient tracer every hook is a
+single context-variable read, so instrumented hot paths stay within the
+documented <3% overhead budget (see DESIGN.md, "Observability").
+"""
+
+from repro.observability.metrics import (
+    diff_semantic_profiles,
+    semantic_profile,
+    summarize_phases,
+    total_counters,
+    trace_summary_line,
+)
+from repro.observability.schema import (
+    SCHEMA_VERSION,
+    SEMANTIC_COUNTERS,
+    load_trace,
+    validate_trace,
+)
+from repro.observability.trace import (
+    Tracer,
+    active_tracer,
+    tracing,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Tracer",
+    "tracing",
+    "active_tracer",
+    "tracing_enabled",
+    "SCHEMA_VERSION",
+    "SEMANTIC_COUNTERS",
+    "validate_trace",
+    "load_trace",
+    "summarize_phases",
+    "total_counters",
+    "semantic_profile",
+    "diff_semantic_profiles",
+    "trace_summary_line",
+]

@@ -1,0 +1,46 @@
+"""The CLI face of the tracing layer: ``--trace`` / ``--metrics``.
+
+Every example script accepts ``--trace out.jsonl`` (write the run's
+trace as JSON lines) and ``--metrics`` (print the per-phase table after
+the run).  Both are implemented here so the scripts share one behavior:
+:func:`cli_tracing` installs an ambient tracer only when either flag is
+given — otherwise the run is completely untraced and pays nothing —
+and exports the trace even when the command fails partway, so a failed
+run still leaves its evidence behind.
+"""
+
+from __future__ import annotations
+
+import sys
+from contextlib import contextmanager
+
+from repro.observability.metrics import render_phase_table
+from repro.observability.trace import Tracer, tracing
+
+
+@contextmanager
+def cli_tracing(trace_path: str | None = None, metrics: bool = False):
+    """Trace the enclosed block per the CLI flags.
+
+    With neither flag set this is a no-op (no tracer installed).
+    Otherwise the block runs under a fresh ambient :class:`Tracer`;
+    on exit — including an exit by exception — the trace is written to
+    ``trace_path`` (if given) and the per-phase table printed to stdout
+    (if ``metrics``).
+    """
+    if trace_path is None and not metrics:
+        yield None
+        return
+    tracer = Tracer()
+    try:
+        with tracing(tracer):
+            yield tracer
+    finally:
+        if trace_path is not None:
+            tracer.write(trace_path)
+            print(f"trace written to {trace_path}", file=sys.stderr)
+        if metrics:
+            print(render_phase_table(tracer.finish()))
+
+
+__all__ = ["cli_tracing"]

@@ -1,0 +1,154 @@
+"""Aggregation over finished traces: per-phase tables and diffs.
+
+A finished trace (list of schema records) is summarized two ways:
+
+* :func:`summarize_phases` — group spans by name: how many ran, total
+  wall-clock inside them, and the sum of every counter.  This is the
+  table ``tools/trace_report.py report`` prints.
+* :func:`semantic_profile` — the engine-independent view used for
+  differential comparison: per span name (with the ``engine`` attribute
+  stripped out of the identity), the summed
+  :data:`~repro.observability.schema.SEMANTIC_COUNTERS` only.  Two runs
+  of the same workload on different engines must produce equal
+  profiles; :func:`diff_semantic_profiles` reports any drift.
+"""
+
+from __future__ import annotations
+
+from repro.observability.schema import SEMANTIC_COUNTERS
+
+
+def spans_of(records: list[dict]) -> list[dict]:
+    """The span records of a trace, in emission (closing) order."""
+    return [record for record in records if record.get("type") == "span"]
+
+
+def summarize_phases(records: list[dict]) -> dict[str, dict]:
+    """Per span-name aggregate: count, total seconds, summed counters.
+
+    Returns ``{name: {"count": int, "seconds": float,
+    "counters": {counter: total}}}``, sorted by first appearance.
+    """
+    phases: dict[str, dict] = {}
+    for record in spans_of(records):
+        phase = phases.setdefault(
+            record["name"], {"count": 0, "seconds": 0.0, "counters": {}}
+        )
+        phase["count"] += 1
+        phase["seconds"] += record["duration_s"]
+        for counter, value in record["counters"].items():
+            phase["counters"][counter] = phase["counters"].get(counter, 0) + value
+    for phase in phases.values():
+        phase["seconds"] = round(phase["seconds"], 6)
+    return phases
+
+
+def total_counters(records: list[dict]) -> dict[str, int]:
+    """Every counter summed across all spans of the trace."""
+    totals: dict[str, int] = {}
+    for record in spans_of(records):
+        for counter, value in record["counters"].items():
+            totals[counter] = totals.get(counter, 0) + value
+    return dict(sorted(totals.items()))
+
+
+def semantic_profile(records: list[dict]) -> dict[str, dict[str, int]]:
+    """Per span-name totals of the semantic counters only.
+
+    The ``engine`` attribute is deliberately *not* part of the span
+    identity, so a reference trace and a kernel trace of the same
+    workload map onto the same keys and can be diffed directly.  Spans
+    with no semantic counters are omitted.
+    """
+    profile: dict[str, dict[str, int]] = {}
+    for record in spans_of(records):
+        semantic = {
+            counter: value
+            for counter, value in record["counters"].items()
+            if counter in SEMANTIC_COUNTERS
+        }
+        if not semantic:
+            continue
+        bucket = profile.setdefault(record["name"], {})
+        for counter, value in semantic.items():
+            bucket[counter] = bucket.get(counter, 0) + value
+    return profile
+
+
+def diff_semantic_profiles(
+    first: dict[str, dict[str, int]], second: dict[str, dict[str, int]]
+) -> list[str]:
+    """Human-readable drift lines between two semantic profiles.
+
+    Empty list means zero semantic drift.  Each line names the span,
+    the counter, and both values (``<absent>`` for a missing side).
+    """
+    drift: list[str] = []
+    for name in sorted(set(first) | set(second)):
+        left = first.get(name, {})
+        right = second.get(name, {})
+        for counter in sorted(set(left) | set(right)):
+            a = left.get(counter, "<absent>")
+            b = right.get(counter, "<absent>")
+            if a != b:
+                drift.append(f"{name} / {counter}: {a} != {b}")
+    return drift
+
+
+def render_phase_table(records: list[dict]) -> str:
+    """The per-phase aggregate as an aligned text table.
+
+    One row per span name: occurrence count, total seconds, and the
+    summed counters.  Used by ``tools/trace_report.py report`` and the
+    CLIs' ``--metrics`` flag.
+    """
+    phases = summarize_phases(records)
+    header = ("phase", "count", "seconds", "counters")
+    rows = [header]
+    for name, phase in phases.items():
+        counters = " ".join(
+            f"{counter}={value}"
+            for counter, value in sorted(phase["counters"].items())
+        )
+        rows.append(
+            (name, str(phase["count"]), f"{phase['seconds']:.6f}", counters)
+        )
+    widths = [
+        max(len(row[column]) for row in rows)
+        for column in range(len(header) - 1)
+    ]
+    lines = []
+    for row in rows:
+        cells = [row[column].ljust(widths[column]) for column in range(len(widths))]
+        lines.append(("  ".join(cells) + "  " + row[-1]).rstrip())
+    return "\n".join(lines)
+
+
+def trace_summary_line(records: list[dict]) -> str:
+    """A one-line digest for provenance trails and logs."""
+    spans = spans_of(records)
+    meta = next((r for r in records if r.get("type") == "meta"), None)
+    totals = total_counters(records)
+    semantic = {
+        counter: totals[counter]
+        for counter in SEMANTIC_COUNTERS
+        if counter in totals
+    }
+    parts = [f"spans={len(spans)}"]
+    if meta is not None:
+        parts.append(f"wall_clock_s={meta['wall_clock_s']}")
+        if meta.get("peak_rss_kb") is not None:
+            parts.append(f"peak_rss_kb={meta['peak_rss_kb']}")
+    parts.extend(f"{counter}={value}" for counter, value in semantic.items())
+    return "trace: " + " ".join(parts)
+
+
+__all__ = [
+    "spans_of",
+    "summarize_phases",
+    "total_counters",
+    "semantic_profile",
+    "diff_semantic_profiles",
+    "render_phase_table",
+    "trace_summary_line",
+]

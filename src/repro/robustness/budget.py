@@ -13,6 +13,14 @@ A budget is also the engine's fault-injection surface: the optional
 ``probe`` callable fires at every checkpoint with the checkpoint's
 context dict, letting the test harness (``tests/faults.py``) raise at
 the Nth checkpoint to simulate a kill mid-run.
+
+Observability: every checkpoint increments the ambient trace counter
+``budget.checkpoints`` (a no-op without a tracer), every budget trip
+emits a ``budget.trip`` span event before raising, and a tracer
+constructed with ``trace_checkpoints=True`` additionally gets one
+``budget.checkpoint`` event per cooperative checkpoint — off by
+default because checkpoints fire per DFS node and would dominate the
+trace.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field
 
+from repro.observability import trace as _trace
 from repro.robustness.errors import AlphabetExplosion, BudgetExceeded
 
 
@@ -83,6 +92,11 @@ class Budget:
         when the clock has run out.
         """
         self._checkpoints += 1
+        tracer = _trace.active_tracer()
+        if tracer is not None:
+            tracer.add("budget.checkpoints")
+            if tracer.trace_checkpoints:
+                tracer.event("budget.checkpoint", **context)
         if self.probe is not None:
             probe_context = dict(context)
             probe_context.setdefault("checkpoint", self._checkpoints)
@@ -92,6 +106,10 @@ class Budget:
                 self.start()
             elapsed = self.elapsed()
             if elapsed > self.wall_clock_seconds:
+                _trace.event(
+                    "budget.trip", resource="wall_clock",
+                    elapsed_seconds=round(elapsed, 3), **context,
+                )
                 raise BudgetExceeded(
                     "wall-clock budget exhausted",
                     elapsed_seconds=round(elapsed, 3),
@@ -103,6 +121,9 @@ class Budget:
         """Checkpoint plus the alphabet-size limit."""
         self.checkpoint(alphabet_size=size, **context)
         if self.max_alphabet is not None and size > self.max_alphabet:
+            _trace.event(
+                "budget.trip", resource="alphabet", alphabet_size=size, **context
+            )
             raise AlphabetExplosion(
                 "alphabet budget exceeded",
                 alphabet_size=size,
@@ -115,6 +136,10 @@ class Budget:
         """Checkpoint plus the intermediate-configuration limit."""
         self.checkpoint(configurations=count, **context)
         if self.max_configurations is not None and count > self.max_configurations:
+            _trace.event(
+                "budget.trip", resource="configurations",
+                configurations=count, **context,
+            )
             raise BudgetExceeded(
                 "configuration budget exceeded",
                 configurations=count,
@@ -127,6 +152,9 @@ class Budget:
         """Checkpoint plus the chain-length limit."""
         self.checkpoint(step=index, **context)
         if self.max_chain_steps is not None and index >= self.max_chain_steps:
+            _trace.event(
+                "budget.trip", resource="chain_steps", step=index, **context
+            )
             raise BudgetExceeded(
                 "chain-step budget exceeded",
                 step=index,

@@ -23,6 +23,7 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.core.io import read_json_checkpoint, write_json_checkpoint
+from repro.observability import trace as _trace
 from repro.robustness.errors import CheckpointCorrupt
 
 
@@ -40,6 +41,7 @@ class CheckpointStore:
     def save(self, stage: str, payload: dict) -> None:
         """Atomically persist ``payload`` under ``stage``."""
         write_json_checkpoint(self.path_for(stage), payload)
+        _trace.event("checkpoint.save", stage=stage)
 
     def load(self, stage: str):
         """The payload of ``stage``, or ``None`` when absent.
@@ -49,8 +51,11 @@ class CheckpointStore:
         """
         path = self.path_for(stage)
         if not path.exists():
+            _trace.event("checkpoint.load", stage=stage, found=False)
             return None
-        return read_json_checkpoint(path)
+        payload = read_json_checkpoint(path)
+        _trace.event("checkpoint.load", stage=stage, found=True)
+        return payload
 
     def load_or_discard(self, stage: str):
         """Like :meth:`load`, but a corrupt file is deleted and reported.
@@ -62,6 +67,7 @@ class CheckpointStore:
             return self.load(stage), None
         except CheckpointCorrupt as error:
             self.delete(stage)
+            _trace.event("checkpoint.corrupt", stage=stage, message=error.message)
             return None, error
 
     def delete(self, stage: str) -> None:

@@ -28,6 +28,7 @@ import random
 from dataclasses import dataclass, field
 from collections.abc import Callable
 
+from repro.observability import trace as _trace
 from repro.sim.graph import Graph
 
 
@@ -184,49 +185,56 @@ def run(
     """
     if model not in ("LOCAL", "PN", "CONGEST"):
         raise ValueError(f"unknown model {model!r}")
-    bit_budget = message_bits
-    if model == "CONGEST" and bit_budget is None:
-        bit_budget = 32 * max((graph.n - 1).bit_length(), 1)
-    master = rng if rng is not None else random.Random(seed)
-    node_seeds = [master.randrange(2**63) for _ in range(graph.n)]
-    algorithms = [algorithm_factory() for _ in range(graph.n)]
-    per_node_rounds = [0] * graph.n
-    for node, algorithm in enumerate(algorithms):
-        view = NodeView(
-            node,
-            graph,
-            model,
-            random.Random(node_seeds[node]),
-            inputs[node] if inputs is not None else None,
-        )
-        algorithm.init(view)
-    rounds = 0
-    while not all(algorithm.halted for algorithm in algorithms):
-        if rounds >= max_rounds:
-            raise RuntimeError(f"algorithm did not halt within {max_rounds} rounds")
-        rounds += 1
-        outboxes: list[dict[int, object]] = []
+    with _trace.span(
+        "sim.run", model=model, n=graph.n, delta=graph.max_degree()
+    ) as sim_span:
+        bit_budget = message_bits
+        if model == "CONGEST" and bit_budget is None:
+            bit_budget = 32 * max((graph.n - 1).bit_length(), 1)
+        master = rng if rng is not None else random.Random(seed)
+        node_seeds = [master.randrange(2**63) for _ in range(graph.n)]
+        algorithms = [algorithm_factory() for _ in range(graph.n)]
+        per_node_rounds = [0] * graph.n
         for node, algorithm in enumerate(algorithms):
-            outboxes.append({} if algorithm.halted else algorithm.send())
-        inboxes: list[dict[int, object]] = [{} for _ in range(graph.n)]
-        for node, outbox in enumerate(outboxes):
-            for port, message in outbox.items():
-                if bit_budget is not None:
-                    size = estimate_message_bits(message)
-                    if size > bit_budget:
-                        raise MessageTooLargeError(
-                            f"node {node} sent {size} bits on port {port}, "
-                            f"budget is {bit_budget} (round {rounds})"
-                        )
-                half = graph.half_edges(node)[port]
-                inboxes[half.neighbor][half.neighbor_port] = message
-        for node, algorithm in enumerate(algorithms):
-            if algorithm.halted:
-                continue
-            per_node_rounds[node] = rounds
-            if algorithm.receive(inboxes[node]):
-                algorithm.halted = True
-    outputs = [algorithm.output() for algorithm in algorithms]
+            view = NodeView(
+                node,
+                graph,
+                model,
+                random.Random(node_seeds[node]),
+                inputs[node] if inputs is not None else None,
+            )
+            algorithm.init(view)
+        rounds = 0
+        while not all(algorithm.halted for algorithm in algorithms):
+            if rounds >= max_rounds:
+                raise RuntimeError(
+                    f"algorithm did not halt within {max_rounds} rounds"
+                )
+            rounds += 1
+            sim_span.add("sim.rounds")
+            outboxes: list[dict[int, object]] = []
+            for node, algorithm in enumerate(algorithms):
+                outboxes.append({} if algorithm.halted else algorithm.send())
+            inboxes: list[dict[int, object]] = [{} for _ in range(graph.n)]
+            for node, outbox in enumerate(outboxes):
+                sim_span.add("sim.messages", len(outbox))
+                for port, message in outbox.items():
+                    if bit_budget is not None:
+                        size = estimate_message_bits(message)
+                        if size > bit_budget:
+                            raise MessageTooLargeError(
+                                f"node {node} sent {size} bits on port {port}, "
+                                f"budget is {bit_budget} (round {rounds})"
+                            )
+                    half = graph.half_edges(node)[port]
+                    inboxes[half.neighbor][half.neighbor_port] = message
+            for node, algorithm in enumerate(algorithms):
+                if algorithm.halted:
+                    continue
+                per_node_rounds[node] = rounds
+                if algorithm.receive(inboxes[node]):
+                    algorithm.halted = True
+        outputs = [algorithm.output() for algorithm in algorithms]
     return RunResult(
         outputs=outputs,
         rounds=max(per_node_rounds) if per_node_rounds else 0,

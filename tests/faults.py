@@ -24,7 +24,7 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.robustness.budget import Budget
-from repro.robustness.errors import ReproError
+from repro.robustness.errors import BudgetExceeded, ReproError
 
 
 class InjectedFault(ReproError):
@@ -40,18 +40,30 @@ class FaultInjector:
         calls: how many times the probe has fired so far.
         contexts: the context dict of each call, for assertions on
             where the engine actually checkpoints.
+        exception_type: what to raise at the trip — default
+            :class:`InjectedFault` (an anonymous crash); pass
+            :class:`~repro.robustness.errors.BudgetExceeded` to
+            simulate a budget trip at an exact checkpoint, which
+            callers that catch-and-resume budget failures will handle
+            gracefully rather than propagate.
     """
 
-    def __init__(self, trip_at: int | None = None):
+    def __init__(
+        self,
+        trip_at: int | None = None,
+        *,
+        exception_type: type[ReproError] = InjectedFault,
+    ):
         self.trip_at = trip_at
         self.calls = 0
         self.contexts: list[dict] = []
+        self.exception_type = exception_type
 
     def __call__(self, context: dict) -> None:
         self.calls += 1
         self.contexts.append(dict(context))
         if self.trip_at is not None and self.calls >= self.trip_at:
-            raise InjectedFault(
+            raise self.exception_type(
                 "injected fault",
                 call=self.calls,
                 trip_at=self.trip_at,
@@ -66,6 +78,20 @@ class FaultInjector:
 def tripping_budget(trip_at: int, **budget_fields) -> tuple[Budget, FaultInjector]:
     """A budget whose probe raises on the ``trip_at``-th checkpoint."""
     injector = FaultInjector(trip_at=trip_at)
+    return Budget(probe=injector, **budget_fields), injector
+
+
+def budget_tripping_budget(
+    trip_at: int, **budget_fields
+) -> tuple[Budget, FaultInjector]:
+    """A budget whose probe raises ``BudgetExceeded`` at a checkpoint.
+
+    Unlike :func:`tripping_budget`'s anonymous crash, this simulates a
+    *typed* budget failure landing at an exactly chosen checkpoint —
+    deterministic fuel for testing checkpoint/resume paths that treat
+    ``BudgetExceeded`` as a graceful stop.
+    """
+    injector = FaultInjector(trip_at=trip_at, exception_type=BudgetExceeded)
     return Budget(probe=injector, **budget_fields), injector
 
 

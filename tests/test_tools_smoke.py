@@ -1,0 +1,164 @@
+"""Subprocess smoke tests for the repo's script entry points.
+
+Every script must honor the CLI contract: exit 0 on success, exit
+non-zero with a one-line ``error:`` diagnostic on any failure path —
+bad flags, unreadable inputs, stale goldens, semantic drift.  These
+tests run the scripts exactly as CI and humans do (fresh interpreter,
+``PYTHONPATH=src``), so a broken import or a swallowed failure shows
+up here and not in production.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run_script(*argv, timeout=300):
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    return subprocess.run(
+        [sys.executable, *argv],
+        cwd=REPO_ROOT,
+        env=environment,
+        stdin=subprocess.DEVNULL,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def write_demo_trace(path) -> None:
+    completed = run_script(
+        "examples/lowerbound_sequence.py", "16", "0", "--trace", str(path)
+    )
+    assert completed.returncode == 0, completed.stderr
+
+
+class TestRegenGolden:
+    def test_check_mode_passes_on_committed_corpus(self):
+        completed = run_script("tools/regen_golden.py", "--check")
+        assert completed.returncode == 0, completed.stderr
+        assert "current" in completed.stdout
+        # --check must never write: the corpus predates this test run.
+
+    def test_check_mode_fails_on_stale_corpus(self, tmp_path):
+        # Run --check against a doctored copy of one golden file via a
+        # fresh GOLDEN_DIR; a missing file must fail loudly.
+        completed = run_script(
+            "-c",
+            "import tools.regen_golden as rg; import sys; "
+            f"rg.GOLDEN_DIR = {str(tmp_path)!r}; "
+            "sys.exit(rg.main(['--check']))",
+        )
+        assert completed.returncode == 1
+        assert "MISSING" in completed.stdout
+        assert "error:" in completed.stderr
+
+    def test_unknown_flag_exits_2(self):
+        completed = run_script("tools/regen_golden.py", "--bogus")
+        assert completed.returncode == 2
+        assert completed.stderr.startswith("error:")
+
+
+class TestBenchKernel:
+    def test_unknown_flag_exits_2(self):
+        completed = run_script("benchmarks/bench_kernel.py", "--bogus")
+        assert completed.returncode == 2
+        assert completed.stderr.startswith("error:")
+
+    @pytest.mark.slow
+    def test_quick_gate_passes_and_prints_counters(self):
+        completed = run_script("benchmarks/bench_kernel.py", "--quick")
+        assert completed.returncode == 0, completed.stderr + completed.stdout
+        assert "reference counters:" in completed.stdout
+        assert "kernel counters:" in completed.stdout
+        assert "labels.in=" in completed.stdout
+
+
+class TestTraceReport:
+    def test_report_renders_a_valid_trace(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        write_demo_trace(trace)
+        completed = run_script("tools/trace_report.py", "report", str(trace))
+        assert completed.returncode == 0, completed.stderr
+        assert "chain.run" in completed.stdout
+        assert completed.stdout.startswith("trace: ")
+
+    def test_diff_zero_drift_against_itself(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        write_demo_trace(trace)
+        completed = run_script(
+            "tools/trace_report.py", "diff", str(trace), str(trace)
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "agree" in completed.stdout
+
+    def test_diff_detects_semantic_drift(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        write_demo_trace(trace)
+        doctored_path = tmp_path / "doctored.jsonl"
+        doctored_lines = []
+        for line in trace.read_text().splitlines():
+            record = json.loads(line)
+            if record.get("name") == "chain.run":
+                record["counters"]["chain.steps"] += 1
+            doctored_lines.append(json.dumps(record, sort_keys=True))
+        doctored_path.write_text("\n".join(doctored_lines) + "\n")
+        completed = run_script(
+            "tools/trace_report.py", "diff", str(trace), str(doctored_path)
+        )
+        assert completed.returncode == 1
+        assert "chain.run / chain.steps" in completed.stdout
+        assert "error:" in completed.stderr
+
+    def test_invalid_trace_exits_2(self, tmp_path):
+        garbage = tmp_path / "garbage.jsonl"
+        garbage.write_text('{"type": "mystery"}\n')
+        completed = run_script("tools/trace_report.py", "report", str(garbage))
+        assert completed.returncode == 2
+        assert completed.stderr.startswith("error:")
+
+    def test_missing_file_exits_2(self, tmp_path):
+        completed = run_script(
+            "tools/trace_report.py", "report", str(tmp_path / "absent.jsonl")
+        )
+        assert completed.returncode == 2
+        assert completed.stderr.startswith("error:")
+
+    def test_unknown_command_exits_2(self):
+        completed = run_script("tools/trace_report.py", "frobnicate")
+        assert completed.returncode == 2
+        assert completed.stderr.startswith("error:")
+
+
+class TestCliTraceFlags:
+    def test_round_eliminator_trace_and_metrics(self, tmp_path):
+        trace = tmp_path / "re.jsonl"
+        completed = run_script(
+            "examples/round_eliminator_cli.py", "1",
+            "--kernel", "--trace", str(trace), "--metrics",
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert trace.exists()
+        assert "op.R" in completed.stdout  # the metrics table
+        report = run_script("tools/trace_report.py", "report", str(trace))
+        assert report.returncode == 0
+
+    def test_full_certificate_trace(self, tmp_path):
+        trace = tmp_path / "cert.jsonl"
+        completed = run_script(
+            "examples/full_certificate.py", "4", "0",
+            "--trace", str(trace), "--metrics",
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "certificate.build" in completed.stdout
+        report = run_script("tools/trace_report.py", "report", str(trace))
+        assert report.returncode == 0
+        assert "certificate.build" in report.stdout

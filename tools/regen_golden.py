@@ -1,6 +1,6 @@
 """Regenerate the golden round-elimination corpus under tests/golden/.
 
-Run:  PYTHONPATH=src python tools/regen_golden.py
+Run:  PYTHONPATH=src python tools/regen_golden.py [--check]
 
 Each golden file is the canonical JSON of ``Rbar(R(P))`` (one full
 speedup step, renamed to compact string labels) for a pinned input
@@ -9,6 +9,11 @@ reference engine and the kernel fast path and diffs byte-for-byte, so
 any behavioral drift in the operators — label naming, configuration
 sets, canonical ordering — shows up as a golden mismatch with a
 readable JSON diff.
+
+``--check`` verifies the committed files against a fresh computation
+without writing anything: exit 0 when every file is current, 1 when
+any is missing or stale.  Failures of any kind exit non-zero with a
+one-line ``error:`` diagnostic.
 
 Regenerate *only* when an intentional change to the operators or the
 renaming scheme alters the expected output, and eyeball the diff
@@ -49,7 +54,34 @@ def golden_text(factory) -> str:
     return problem_to_json(result) + "\n"
 
 
-def main() -> None:
+def check() -> int:
+    """Verify the committed corpus without writing; 0 = all current."""
+    stale = 0
+    for name, factory in GOLDEN_CASES.items():
+        path = os.path.join(GOLDEN_DIR, f"{name}.json")
+        text = golden_text(factory)
+        if not os.path.exists(path):
+            print(f"{name}.json: MISSING")
+            stale += 1
+            continue
+        with open(path, encoding="utf-8") as handle:
+            previous = handle.read()
+        if previous != text:
+            print(f"{name}.json: STALE")
+            stale += 1
+        else:
+            print(f"{name}.json: current")
+    if stale:
+        print(
+            f"error: {stale} golden file(s) out of date - run "
+            "tools/regen_golden.py to regenerate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def regenerate() -> int:
     os.makedirs(GOLDEN_DIR, exist_ok=True)
     for name, factory in GOLDEN_CASES.items():
         path = os.path.join(GOLDEN_DIR, f"{name}.json")
@@ -66,7 +98,23 @@ def main() -> None:
             else ("updated" if previous is not None else "created")
         )
         print(f"{name}.json: {status}")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    check_only = False
+    for argument in argv:
+        if argument == "--check":
+            check_only = True
+        else:
+            print(f"error: unknown option {argument}", file=sys.stderr)
+            return 2
+    try:
+        return check() if check_only else regenerate()
+    except Exception as error:  # any engine failure must exit non-zero
+        print(f"error: golden computation failed: {error}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main(sys.argv[1:]))

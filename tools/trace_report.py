@@ -1,0 +1,102 @@
+"""Render and compare JSON-lines traces from the observability layer.
+
+Run:  PYTHONPATH=src python tools/trace_report.py report <trace.jsonl>
+      PYTHONPATH=src python tools/trace_report.py diff <a.jsonl> <b.jsonl>
+
+``report`` validates the trace against the documented schema and prints
+the per-phase table: one row per span name with occurrence count, total
+wall-clock inside those spans, and every counter summed.
+
+``diff`` compares the *semantic* counter profiles of two traces — the
+engine-independent work measures (labels in/out, right-closed sets,
+configuration counts; see
+:data:`repro.observability.schema.SEMANTIC_COUNTERS`).  Timing- and
+cache-related counters are deliberately ignored: a reference trace and
+a kernel trace of the same workload must agree semantically while
+differing wildly in cache behavior.  Exit status is 0 on zero drift,
+1 when the profiles differ (each drifting counter is printed), and 2
+on unreadable or schema-invalid input.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.observability.metrics import (
+    diff_semantic_profiles,
+    render_phase_table,
+    semantic_profile,
+    trace_summary_line,
+)
+from repro.observability.schema import load_trace
+
+USAGE = (
+    "usage: trace_report.py report <trace.jsonl>\n"
+    "       trace_report.py diff <a.jsonl> <b.jsonl>"
+)
+
+
+def _fail(message: str) -> "SystemExit":
+    """One-line ``error:`` diagnostic on stderr, exit status 2."""
+    print(f"error: {message}", file=sys.stderr)
+    return SystemExit(2)
+
+
+def _load(path: str) -> list[dict]:
+    """A validated trace, or a one-line ``error:`` exit."""
+    try:
+        return load_trace(path)
+    except OSError as error:
+        raise _fail(f"cannot read {path}: {error}")
+    except ValueError as error:
+        raise _fail(f"{path} is not a valid trace: {error}")
+
+
+def report(path: str) -> int:
+    records = _load(path)
+    print(trace_summary_line(records))
+    print()
+    print(render_phase_table(records))
+    return 0
+
+
+def diff(first_path: str, second_path: str) -> int:
+    first = semantic_profile(_load(first_path))
+    second = semantic_profile(_load(second_path))
+    drift = diff_semantic_profiles(first, second)
+    if not drift:
+        print(
+            f"semantic counters agree: {first_path} == {second_path} "
+            f"({sum(len(counters) for counters in first.values())} counters "
+            f"over {len(first)} span names)"
+        )
+        return 0
+    for line in drift:
+        print(f"  {line}")
+    print(f"error: {len(drift)} semantic counter(s) drifted", file=sys.stderr)
+    return 1
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(USAGE, file=sys.stderr)
+        return 2
+    command, *operands = argv
+    if command == "report":
+        if len(operands) != 1:
+            raise _fail("report takes exactly one trace file\n" + USAGE)
+        return report(operands[0])
+    if command == "diff":
+        if len(operands) != 2:
+            raise _fail("diff takes exactly two trace files\n" + USAGE)
+        return diff(operands[0], operands[1])
+    raise _fail(f"unknown command {command!r}\n" + USAGE)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
