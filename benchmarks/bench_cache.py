@@ -1,0 +1,194 @@
+"""RE-CACHE: cold/warm benchmarks of the content-addressed operator cache.
+
+Running this file as a script measures the Delta=4 and Delta=5 MIS
+round-elimination chains (kernel engine) three ways — uncached, cold
+cache (fresh on-disk store), warm cache (same store, second run) — and
+appends one ``"mode": "operator-cache"`` entry per chain to
+``BENCH_kernel.json``:
+
+* ``PYTHONPATH=src python benchmarks/bench_cache.py``
+  measures (best of 3) and *appends* entries to the trajectory.
+* ``PYTHONPATH=src python benchmarks/bench_cache.py --quick``
+  single measurement, nothing recorded; exit status reflects the
+  correctness gate only.
+
+Every measurement is correctness-gated by the differential oracle
+before any number is written: the cold-cached, warm-cached, uncached
+kernel, and reference-engine chains must produce the *same problem*,
+and the traced cold-cached run must show zero semantic-counter drift
+against the plain kernel run (``cache.*`` counters are timing-class by
+design; see :mod:`repro.observability.schema`).  Failures exit
+non-zero with a one-line ``error:`` diagnostic and record nothing.
+
+Cache entries deliberately omit ``kernel_seconds`` so the kernel
+regression floor of ``bench_kernel.py --quick`` never compares against
+cache amplification ratios.
+"""
+
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.core.cache import OperatorCache, caching
+from repro.core.round_elimination import speedup
+from repro.observability.metrics import (
+    diff_semantic_profiles,
+    semantic_profile,
+    total_counters,
+)
+from repro.observability.trace import Tracer, tracing
+from repro.problems.mis import mis_problem
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from bench_kernel import TRAJECTORY_PATH, load_trajectory
+
+CHAINS = ((4, 2), (5, 2))
+
+#: Span names whose summed duration is "operator time" for this report.
+OPERATOR_SPANS = ("op.R", "op.Rbar")
+
+
+def run_chain(delta: int, steps: int, *, use_kernel: bool = True):
+    problem = mis_problem(delta)
+    for _ in range(steps):
+        problem = speedup(problem, use_kernel=use_kernel).problem
+    return problem
+
+
+def _timed(fn) -> tuple[float, object]:
+    started = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - started, result
+
+
+def operator_seconds(records: list[dict]) -> float:
+    """Wall-clock spent inside R/Rbar spans (0.0 when all calls hit:
+    a cache hit returns before the operator span ever opens)."""
+    return sum(
+        record["duration_s"]
+        for record in records
+        if record["type"] == "span" and record["name"] in OPERATOR_SPANS
+    )
+
+
+def traced_records(fn) -> list[dict]:
+    tracer = Tracer()
+    with tracing(tracer):
+        fn()
+    return tracer.finish()
+
+
+def measure_chain(delta: int, steps: int, rounds: int) -> dict:
+    """Cold/warm timings plus the correctness gate; raises on failure."""
+    uncached = run_chain(delta, steps)
+    reference = run_chain(delta, steps, use_kernel=False)
+    if uncached != reference:
+        raise AssertionError(
+            f"kernel and reference disagree on delta={delta} steps={steps}"
+        )
+
+    cold_best = warm_best = None
+    cold_result = warm_result = None
+    stats = None
+    for _ in range(rounds):
+        directory = tempfile.mkdtemp(prefix="repro-bench-cache-")
+        try:
+            store = OperatorCache(directory)
+            with caching(store):
+                cold_seconds, cold_result = _timed(
+                    lambda: run_chain(delta, steps)
+                )
+                warm_seconds, warm_result = _timed(
+                    lambda: run_chain(delta, steps)
+                )
+            stats = store.stats()
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+        cold_best = min(cold_seconds, cold_best or cold_seconds)
+        warm_best = min(warm_seconds, warm_best or warm_seconds)
+    if cold_result != uncached or warm_result != uncached:
+        raise AssertionError(
+            f"cached chain diverged from uncached on delta={delta}"
+        )
+
+    # Traced pair for the drift gate and the operator-time split.  The
+    # traced cached runs use a fresh in-memory store so "cold" and
+    # "warm" are exact, not polluted by the timed runs above.
+    plain_records = traced_records(lambda: run_chain(delta, steps))
+    traced_store = OperatorCache()
+    with caching(traced_store):
+        cold_records = traced_records(lambda: run_chain(delta, steps))
+        warm_records = traced_records(lambda: run_chain(delta, steps))
+    drift = diff_semantic_profiles(
+        semantic_profile(plain_records), semantic_profile(cold_records)
+    )
+    if drift:
+        raise AssertionError(
+            f"semantic drift between plain and cold-cached runs on "
+            f"delta={delta}: {drift}"
+        )
+
+    return {
+        "chain": f"mis_delta{delta}_steps{steps}",
+        "mode": "operator-cache",
+        "cold_seconds": round(cold_best, 4),
+        "warm_seconds": round(warm_best, 4),
+        "speedup": round(cold_best / max(warm_best, 1e-9), 2),
+        "operator_seconds": {
+            "cold": round(operator_seconds(cold_records), 4),
+            "warm": round(operator_seconds(warm_records), 4),
+        },
+        "cache": stats,
+        "counters": {
+            "cold": total_counters(cold_records),
+            "warm": total_counters(warm_records),
+        },
+        "semantic_drift": drift,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+
+
+def report(entry: dict) -> None:
+    ops = entry["operator_seconds"]
+    print(
+        f"{entry['chain']}: cold {entry['cold_seconds']}s -> warm "
+        f"{entry['warm_seconds']}s ({entry['speedup']}x); operator time "
+        f"cold {ops['cold']}s -> warm {ops['warm']}s; cache {entry['cache']}"
+    )
+
+
+def main(argv: list[str]) -> int:
+    quick = False
+    for argument in argv:
+        if argument == "--quick":
+            quick = True
+        else:
+            print(f"error: unknown option {argument}", file=sys.stderr)
+            return 2
+    try:
+        entries = [
+            measure_chain(delta, steps, rounds=1 if quick else 3)
+            for delta, steps in CHAINS
+        ]
+    except Exception as error:  # measurement failures must exit non-zero
+        print(f"error: benchmark failed: {error}", file=sys.stderr)
+        return 1
+    for entry in entries:
+        report(entry)
+    if quick:
+        print("PASS (nothing recorded)")
+        return 0
+    trajectory = load_trajectory()
+    trajectory.extend(entries)
+    with open(TRAJECTORY_PATH, "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=2)
+        handle.write("\n")
+    print(f"trajectory length: {len(trajectory)} ({TRAJECTORY_PATH})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

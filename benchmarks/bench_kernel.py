@@ -149,12 +149,65 @@ def record() -> None:
     print(f"trajectory length: {len(trajectory)} ({TRAJECTORY_PATH})")
 
 
+def cache_gate() -> int:
+    """The operator cache must be invisible except in the counters.
+
+    Three chain runs — uncached, cold-cached, warm-cached (same store)
+    — must produce the same problem, the cold-cached traced profile
+    must show zero semantic drift against the plain kernel profile
+    (``cache.*`` are timing counters, excluded by design), and the warm
+    run must actually hit.
+    """
+    from repro.core.cache import OperatorCache, caching
+
+    plain = run_mis_chain(use_kernel=True)
+    store = OperatorCache()  # in-memory tier only; no disk in CI
+    with caching(store):
+        cold = run_mis_chain(use_kernel=True)
+        warm = run_mis_chain(use_kernel=True)
+    if not (plain == cold == warm):
+        print("error: cached chain diverged from uncached", file=sys.stderr)
+        return 1
+    if store.hits == 0 or store.misses == 0:
+        print(
+            f"error: cache gate expected both misses (cold) and hits "
+            f"(warm), saw hits={store.hits} misses={store.misses}",
+            file=sys.stderr,
+        )
+        return 1
+    tracer = Tracer()
+    with tracing(tracer), caching(OperatorCache()):
+        run_mis_chain(use_kernel=True)
+    cached_records = tracer.finish()
+    drift = diff_semantic_profiles(
+        semantic_profile(traced_chain_records(use_kernel=True)),
+        semantic_profile(cached_records),
+    )
+    if drift:
+        for line in drift:
+            print(f"  {line}")
+        print(
+            "error: cold-cached run drifted semantically from the "
+            "plain kernel run",
+            file=sys.stderr,
+        )
+        return 1
+    cache_totals = {
+        counter: value
+        for counter, value in total_counters(cached_records).items()
+        if counter.startswith("cache.")
+    }
+    print(f"cache gate: {store.summary_line()} traced={cache_totals}")
+    return 0
+
+
 def quick_gate() -> int:
     """Single measurement vs. the best recorded ratio; 0 = pass.
 
     Also fails on any semantic-counter drift between the engines —
     the differential contract checked for free while we have the
-    traced runs in hand.
+    traced runs in hand — and on any cache-transparency violation
+    (see :func:`cache_gate`).
     """
     entry = measure_chain(rounds=1)
     trajectory = load_trajectory()
@@ -177,10 +230,19 @@ def quick_gate() -> int:
             file=sys.stderr,
         )
         return 1
-    if not trajectory:
+    failed = cache_gate()
+    if failed:
+        return failed
+    # The trajectory also holds cold/warm cache entries (bench_cache.py)
+    # whose "speedup" measures cache amplification, not the kernel —
+    # only kernel measurements set the regression floor.
+    kernel_entries = [
+        item["speedup"] for item in trajectory if "kernel_seconds" in item
+    ]
+    if not kernel_entries:
         print("no recorded trajectory - nothing to compare against")
         return 0
-    best = max(item["speedup"] for item in trajectory)
+    best = max(kernel_entries)
     floor = best / REGRESSION_FACTOR
     print(f"best recorded: {best}x, regression floor: {floor:.2f}x")
     if entry["speedup"] < floor:

@@ -1,7 +1,7 @@
 """A tiny round-eliminator CLI, in the spirit of Olivetti's tool [36].
 
 Run:  python examples/round_eliminator_cli.py [steps] [--kernel [--workers N]]
-          [--trace out.jsonl] [--metrics]
+          [--cache] [--trace out.jsonl] [--metrics]
 
 Reads a problem from stdin in the paper's condensed syntax — node
 configurations, a blank line, then edge configurations — and applies
@@ -13,6 +13,10 @@ path (identical output, measured in benchmarks/bench_kernel.py), and
 ``--workers N`` additionally parallelizes the Rbar maximization DFS.
 ``--trace out.jsonl`` writes the run's span trace as JSON lines and
 ``--metrics`` prints the per-phase counter table after the run.
+``--cache`` memoizes operator results in the content-addressed store
+under ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``) so a rerun of
+the same chain is served from disk; the hit/miss totals are printed
+when the run finishes.
 
 Example input (MIS, Delta = 3):
 
@@ -23,8 +27,10 @@ Example input (MIS, Delta = 3):
     O O
 """
 
+import contextlib
 import sys
 
+from repro.core.cache import OperatorCache, caching, default_cache_dir
 from repro.core.diagram import edge_diagram, node_diagram
 from repro.core.problem import Problem
 from repro.core.round_elimination import speedup
@@ -57,6 +63,7 @@ def main() -> None:
     workers = None
     trace_path = None
     metrics = False
+    use_cache = False
     positional: list[str] = []
     index = 0
     while index < len(arguments):
@@ -80,6 +87,8 @@ def main() -> None:
             index += 1
         elif argument == "--metrics":
             metrics = True
+        elif argument == "--cache":
+            use_cache = True
         elif argument.startswith("-"):
             raise SystemExit(f"error: unknown option {argument}")
         else:
@@ -97,7 +106,12 @@ def main() -> None:
         problem = sinkless_orientation_problem(3)
     if use_kernel:
         print("(engine: kernel fast path" + (f", {workers} workers)" if workers else ")"))
-    with cli_tracing(trace_path, metrics):
+    store = None
+    if use_cache:
+        store = OperatorCache(default_cache_dir())
+        print(f"(operator cache: {store.directory})")
+    cache_context = caching(store) if store is not None else contextlib.nullcontext()
+    with cli_tracing(trace_path, metrics), cache_context:
         for step_index in range(steps + 1):
             print(f"=== step {step_index} ===")
             print(problem.render())
@@ -116,6 +130,8 @@ def main() -> None:
                 problem, use_kernel=use_kernel, workers=workers
             ).problem
             problem.name = f"step {step_index + 1}"
+    if store is not None:
+        print(store.summary_line())
 
 
 if __name__ == "__main__":

@@ -17,6 +17,15 @@ from repro.core.configurations import (
 from repro.core.constraints import Constraint
 from repro.core.problem import Problem
 from repro.core.diagram import Diagram, right_closed_sets
+from repro.core.cache import (
+    ENGINE_VERSION,
+    OperatorCache,
+    active_cache,
+    caching,
+    canonical_form,
+    default_cache_dir,
+    fingerprint,
+)
 from repro.core.round_elimination import (
     SpeedupResult,
     maximize_edge_constraint,
@@ -51,6 +60,13 @@ __all__ = [
     "Problem",
     "Diagram",
     "right_closed_sets",
+    "ENGINE_VERSION",
+    "OperatorCache",
+    "active_cache",
+    "caching",
+    "canonical_form",
+    "default_cache_dir",
+    "fingerprint",
     "SpeedupResult",
     "maximize_edge_constraint",
     "maximize_node_constraint",

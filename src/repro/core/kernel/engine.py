@@ -270,20 +270,78 @@ class KernelProblem:
 # Maximization steps
 # ---------------------------------------------------------------------------
 
-def maximize_edge_constraint_kernel(problem: Problem) -> Constraint:
-    """Kernel twin of :func:`repro.core.round_elimination.maximize_edge_constraint`."""
+def edge_pairing_chunk(
+    compat: tuple[int, ...],
+    closed_sets: tuple[int, ...],
+    low: int,
+    high: int,
+) -> list[tuple[int, int]]:
+    """Galois-pair the closed sets in ``closed_sets[low:high]``.
+
+    Each closed set is tested independently (``A`` is kept with its
+    partner ``f(A)`` iff ``f(f(A)) == A``), so the serial pairing loop
+    is exactly the concatenation of contiguous slices — the unit of
+    work the parallel fan-out distributes.  Recomputes partners from
+    the raw compatibility masks since workers have no
+    :class:`KernelProblem` memo.
+    """
+    full = (1 << len(compat)) - 1
+
+    def partner(mask: int) -> int:
+        if mask == 0:
+            return 0
+        result = full
+        for index in iter_bits(mask):
+            result &= compat[index]
+        return result
+
+    pairs: list[tuple[int, int]] = []
+    for left in closed_sets[low:high]:
+        right = partner(left)
+        if right and partner(right) == left:
+            pairs.append((left, right))
+    return pairs
+
+
+def maximize_edge_constraint_kernel(
+    problem: Problem, *, pool=None
+) -> Constraint:
+    """Kernel twin of :func:`repro.core.round_elimination.maximize_edge_constraint`.
+
+    The closed-set lattice is always built serially (it is inherently
+    sequential and budget-checked); with a usable ``pool`` the pairing
+    loop over the lattice fans out as contiguous slices.
+    """
     kernel = KernelProblem.of(problem)
     interner = kernel.interner
-    _trace.add("edge.closed_sets", len(kernel.galois_closed_sets()))
-    configurations: set[Configuration] = set()
-    for left in kernel.galois_closed_sets():
-        right = kernel.partner(left)
-        if right and kernel.partner(right) == left:
-            configurations.add(
-                Configuration(
-                    (interner.labels_of_mask(left), interner.labels_of_mask(right))
-                )
-            )
+    closed_sets = kernel.galois_closed_sets()
+    _trace.add("edge.closed_sets", len(closed_sets))
+    pairs: list[tuple[int, int]] | None = None
+    if pool is not None and len(closed_sets) > 1:
+        chunk_size = -(-len(closed_sets) // min(
+            len(closed_sets), max(pool.workers, 1) * 4
+        ))
+        count = -(-len(closed_sets) // chunk_size)
+        chunks = pool.map_chunks(
+            "edge-pair",
+            (tuple(kernel.compat), closed_sets, chunk_size),
+            count,
+            phase="edge-maximization",
+        )
+        if chunks is not None:
+            pairs = [pair for chunk in chunks for pair in chunk]
+    if pairs is None:
+        pairs = []
+        for left in closed_sets:
+            right = kernel.partner(left)
+            if right and kernel.partner(right) == left:
+                pairs.append((left, right))
+    configurations: set[Configuration] = {
+        Configuration(
+            (interner.labels_of_mask(left), interner.labels_of_mask(right))
+        )
+        for left, right in pairs
+    }
     if not configurations:
         raise InvalidProblem(
             "edge constraint admits no maximal configuration",
@@ -422,11 +480,12 @@ def prune_non_maximal_masks(
 
 
 def maximize_node_constraint_kernel(
-    problem: Problem, *, workers: int | None = None
+    problem: Problem, *, workers: int | None = None, pool=None
 ) -> Constraint:
     """Kernel twin of :func:`repro.core.round_elimination.maximize_node_constraint`.
 
-    With ``workers > 1`` the arity-Delta DFS fans out over a
+    With a usable ``pool`` (or ``workers > 1``, which builds a
+    transient one) the arity-Delta DFS fans out over a
     ``multiprocessing`` pool, chunked by the top-level right-closed-set
     prefix (see :mod:`repro.core.kernel.parallel`); otherwise it runs
     serially with per-node budget checkpoints exactly like the
@@ -443,12 +502,31 @@ def maximize_node_constraint_kernel(
     )
     closure = kernel.node_prefix_closure()
     delta = kernel.delta
-    if workers is not None and workers > 1 and len(candidates) > 1:
-        from repro.core.kernel.parallel import search_maximization_parallel
-
-        results = search_maximization_parallel(
-            candidates, member_steps, closure, delta, workers
+    parallel_requested = pool is not None or (
+        workers is not None and workers > 1
+    )
+    if parallel_requested and len(candidates) > 1:
+        from repro.core.kernel.parallel import (
+            KernelPool,
+            run_chunks_serial,
         )
+
+        payload = (candidates, member_steps, closure, delta)
+        count = len(candidates)
+        if pool is not None:
+            chunks = pool.map_chunks(
+                "node-max", payload, count, phase="node-maximization"
+            )
+        else:
+            with KernelPool(workers) as owned:
+                chunks = owned.map_chunks(
+                    "node-max", payload, count, phase="node-maximization"
+                )
+        if chunks is None:
+            chunks = run_chunks_serial(
+                "node-max", payload, count, phase="node-maximization"
+            )
+        results = [item for chunk in chunks for item in chunk]
     else:
         results = []
 
@@ -487,10 +565,58 @@ def maximize_node_constraint_kernel(
 # Existential steps
 # ---------------------------------------------------------------------------
 
+def search_existential_chunk(
+    member_steps: tuple[tuple[int, ...], ...],
+    closure: frozenset[int],
+    arity: int,
+    first_index: int,
+) -> list[tuple[int, ...]]:
+    """Explore the existential DFS subtree rooted at label ``first_index``.
+
+    Returns label-*index* tuples (the caller owns the label list); the
+    union over ``first_index = 0 .. len(member_steps) - 1`` is exactly
+    the serial search's configuration set, since the serial DFS chooses
+    its first label in the same index order.
+    """
+    results: list[tuple[int, ...]] = []
+    initial = grow_frontier_exists(
+        frozenset([0]), member_steps[first_index], closure
+    )
+    if not initial:
+        return results
+    if arity == 1:
+        return [(first_index,)]
+
+    def extend(
+        start: int, chosen: list[int], frontier: frozenset[int]
+    ) -> None:
+        if len(chosen) == arity:
+            results.append(tuple(chosen))
+            return
+        for index in range(start, len(member_steps)):
+            grown = grow_frontier_exists(frontier, member_steps[index], closure)
+            if not grown:
+                continue
+            chosen.append(index)
+            extend(index, chosen, grown)
+            chosen.pop()
+
+    extend(first_index, [first_index], initial)
+    return results
+
+
 def existential_constraint_kernel(
-    old_constraint: Constraint, new_labels: Iterable[frozenset], arity: int
+    old_constraint: Constraint,
+    new_labels: Iterable[frozenset],
+    arity: int,
+    *,
+    pool=None,
 ) -> Constraint:
-    """Kernel twin of :func:`repro.core.round_elimination.existential_constraint`."""
+    """Kernel twin of :func:`repro.core.round_elimination.existential_constraint`.
+
+    With a usable ``pool`` the DFS fans out chunked by the first chosen
+    label; the set union of the chunks equals the serial result.
+    """
     labels = sorted(set(new_labels), key=_set_sort_key)
     base: set[Hashable] = set(old_constraint.labels_used())
     for label_set in labels:
@@ -512,25 +638,44 @@ def existential_constraint_kernel(
                 closure.add(pack_ids(combo, shift))
     closure_frozen = frozenset(closure)
     results: set[Configuration] = set()
+    if pool is not None and len(labels) > 1:
+        from repro.core.kernel.parallel import run_chunks_serial
 
-    def extend(
-        start: int, chosen: list[frozenset], frontier: frozenset[int]
-    ) -> None:
-        _budget.check_configurations(
-            len(results), phase="existential", depth=len(chosen)
+        payload = (member_steps, closure_frozen, arity)
+        chunks = pool.map_chunks(
+            "exists", payload, len(labels), phase="existential"
         )
-        if len(chosen) == arity:
-            results.add(Configuration(chosen))
-            return
-        for index in range(start, len(labels)):
-            grown = grow_frontier_exists(frontier, member_steps[index], closure_frozen)
-            if not grown:
-                continue
-            chosen.append(labels[index])
-            extend(index, chosen, grown)
-            chosen.pop()
+        if chunks is None:
+            chunks = run_chunks_serial(
+                "exists", payload, len(labels), phase="existential"
+            )
+        results = {
+            Configuration(labels[index] for index in ids)
+            for chunk in chunks
+            for ids in chunk
+        }
+    else:
 
-    extend(0, [], frozenset([0]))
+        def extend(
+            start: int, chosen: list[frozenset], frontier: frozenset[int]
+        ) -> None:
+            _budget.check_configurations(
+                len(results), phase="existential", depth=len(chosen)
+            )
+            if len(chosen) == arity:
+                results.add(Configuration(chosen))
+                return
+            for index in range(start, len(labels)):
+                grown = grow_frontier_exists(
+                    frontier, member_steps[index], closure_frozen
+                )
+                if not grown:
+                    continue
+                chosen.append(labels[index])
+                extend(index, chosen, grown)
+                chosen.pop()
+
+        extend(0, [], frozenset([0]))
     if not results:
         raise InvalidProblem(
             "existential step produced an empty constraint",
@@ -545,19 +690,23 @@ def existential_constraint_kernel(
 # The R / Rbar operators
 # ---------------------------------------------------------------------------
 
-def kernel_R(problem: Problem) -> Problem:
-    """Kernel twin of :func:`repro.core.round_elimination.R`."""
+def kernel_R(problem: Problem, *, pool=None) -> Problem:
+    """Kernel twin of :func:`repro.core.round_elimination.R`.
+
+    A usable ``pool`` (a :class:`~repro.core.kernel.parallel.KernelPool`)
+    fans out both the edge-side pairing and the existential DFS.
+    """
     with _trace.span(
         "op.R", engine="kernel", problem=problem.name, delta=problem.delta
     ) as span:
         span.add("labels.in", len(problem.alphabet))
-        edge_constraint = maximize_edge_constraint_kernel(problem)
+        edge_constraint = maximize_edge_constraint_kernel(problem, pool=pool)
         sigma = sorted(edge_constraint.labels_used(), key=_set_sort_key)
         _budget.check_alphabet(
             len(sigma), operator="R", alphabet_before=len(problem.alphabet)
         )
         node_constraint = existential_constraint_kernel(
-            problem.node_constraint, sigma, problem.delta
+            problem.node_constraint, sigma, problem.delta, pool=pool
         )
         span.add("labels.out", len(sigma))
         span.add("node.configs.out", len(node_constraint))
@@ -566,19 +715,34 @@ def kernel_R(problem: Problem) -> Problem:
     return Problem(Alphabet(sigma), node_constraint, edge_constraint, name=name)
 
 
-def kernel_Rbar(problem: Problem, *, workers: int | None = None) -> Problem:
-    """Kernel twin of :func:`repro.core.round_elimination.Rbar`."""
+def kernel_Rbar(
+    problem: Problem, *, workers: int | None = None, pool=None
+) -> Problem:
+    """Kernel twin of :func:`repro.core.round_elimination.Rbar`.
+
+    ``workers > 1`` without a ``pool`` builds a transient
+    :class:`~repro.core.kernel.parallel.KernelPool` shared by the
+    maximization and existential steps of this one call; a caller that
+    already owns a pool (``speedup``) passes it in instead.
+    """
+    if pool is None and workers is not None and workers > 1:
+        from repro.core.kernel.parallel import KernelPool
+
+        with KernelPool(workers) as owned:
+            return kernel_Rbar(problem, workers=workers, pool=owned)
     with _trace.span(
         "op.Rbar", engine="kernel", problem=problem.name, delta=problem.delta
     ) as span:
         span.add("labels.in", len(problem.alphabet))
-        node_constraint = maximize_node_constraint_kernel(problem, workers=workers)
+        node_constraint = maximize_node_constraint_kernel(
+            problem, workers=workers, pool=pool
+        )
         sigma = sorted(node_constraint.labels_used(), key=_set_sort_key)
         _budget.check_alphabet(
             len(sigma), operator="Rbar", alphabet_before=len(problem.alphabet)
         )
         edge_constraint = existential_constraint_kernel(
-            problem.edge_constraint, sigma, 2
+            problem.edge_constraint, sigma, 2, pool=pool
         )
         span.add("labels.out", len(sigma))
         span.add("node.configs.out", len(node_constraint))
@@ -738,5 +902,7 @@ __all__ = [
     "pack_ids",
     "unpack_ids",
     "search_maximization_chunk",
+    "search_existential_chunk",
+    "edge_pairing_chunk",
     "prune_non_maximal_masks",
 ]

@@ -1,30 +1,42 @@
-"""Opt-in multiprocessing fan-out for the arity-Delta maximization DFS.
+"""Opt-in multiprocessing fan-out for the kernel's DFS-shaped work.
 
-The node maximization of ``Rbar`` explores right-closed candidate sets
-in non-decreasing index order, so the search tree decomposes cleanly by
-its *top-level prefix*: the subtree whose first chosen set is
-``candidates[k]`` is independent of every other subtree, touches only
-indices ``>= k``, and the serial result list is exactly the
-concatenation of the chunk results for ``k = 0, 1, 2, ...``.  Each
-chunk therefore ships to a worker as a single integer; the shared
-search tables (candidate masks, member ids, prefix closure) travel once
-per worker through the pool initializer.
+Three kinds of work chunk cleanly by an independent top-level index, so
+the serial result is exactly the in-order concatenation (or set union)
+of per-chunk results:
+
+* ``node-max`` — the arity-Delta maximization DFS of ``Rbar``, chunked
+  by its top-level right-closed-set prefix: the subtree whose first
+  chosen set is ``candidates[k]`` touches only indices ``>= k``.
+* ``exists`` — the existential-constraint DFS of both operators,
+  chunked the same way by the first chosen new label.
+* ``edge-pair`` — the Galois pairing loop of the edge maximization,
+  chunked as contiguous slices of the closed-set lattice (each closed
+  set is tested independently).
+
+A :class:`KernelPool` owns one ``multiprocessing`` pool and is reused
+across a whole ``speedup`` call — both operators, all three chunk
+kinds — instead of spawning a pool per operator.  On the success path
+the pool is shut down with ``close()``/``join()`` (letting workers
+finish cleanly); ``terminate()`` is reserved for the error path.  With
+``workers <= 1``, a single chunk, or a pool that cannot be created
+(restricted environments), callers fall back to the serial loop —
+no pool is ever built for one chunk.
 
 Budget interplay (PR 1's ``governed()`` machinery): workers run
 unbudgeted — a ``Budget`` is deliberately not shipped across the
 process boundary, because its wall clock and fault-injection probe are
 bound to the parent — and instead the *parent* fires the ambient
-checkpoints between chunk results, with the accumulated configuration
-count.  Wall-clock budgets, configuration caps, and injected faults
-therefore still trip in parallel mode, at chunk granularity rather than
-per DFS node.  Callers who need per-node enforcement should stay on the
-serial path (``workers=None``).
+checkpoints between chunk results, with the accumulated result count.
+Wall-clock budgets, configuration caps, and injected faults therefore
+still trip in parallel mode, at chunk granularity rather than per DFS
+node.  Callers who need per-node enforcement should stay on the serial
+path (``workers=None``).
 
 Tracing interplay (the observability layer): a ``Tracer`` likewise
 never crosses the process boundary.  When the parent has an ambient
-tracer, the initializer ships a boolean flag; each worker then records
-its chunk into a *local* tracer and returns the finished records
-alongside the results, and the parent grafts them under its open span
+tracer, each task carries a boolean flag; the worker then records its
+chunk into a *local* tracer and returns the finished records alongside
+the results, and the parent grafts them under its open span
 (:meth:`~repro.observability.trace.Tracer.graft`) — so chunk spans
 appear in the parent's trace tree with per-chunk counters, while an
 untraced run ships nothing extra at all.
@@ -34,35 +46,154 @@ from __future__ import annotations
 
 import multiprocessing
 
-from repro.core.kernel.engine import search_maximization_chunk
+from repro.core.kernel.engine import (
+    edge_pairing_chunk,
+    search_existential_chunk,
+    search_maximization_chunk,
+)
 from repro.observability import trace as _trace
 from repro.robustness import budget as _budget
 
-_WORKER_TABLES: tuple | None = None
 
-
-def _initialize_worker(tables: tuple) -> None:
-    global _WORKER_TABLES
-    _WORKER_TABLES = tables
-
-
-def _run_chunk(first_index: int) -> tuple[list[tuple[int, ...]], list[dict] | None]:
-    candidates, member_steps, closure, arity, traced = _WORKER_TABLES
-    if not traced:
-        return (
-            search_maximization_chunk(
-                candidates, member_steps, closure, arity, first_index
-            ),
-            None,
+def _dispatch(kind: str, payload: tuple, index: int) -> list:
+    if kind == "node-max":
+        candidates, member_steps, closure, arity = payload
+        return search_maximization_chunk(
+            candidates, member_steps, closure, arity, index
         )
+    if kind == "exists":
+        member_steps, closure, arity = payload
+        return search_existential_chunk(member_steps, closure, arity, index)
+    if kind == "edge-pair":
+        compat, closed_sets, chunk_size = payload
+        low = index * chunk_size
+        high = min(low + chunk_size, len(closed_sets))
+        return edge_pairing_chunk(compat, closed_sets, low, high)
+    raise ValueError(f"unknown chunk kind: {kind}")
+
+
+def _run_task(task: tuple) -> tuple[list, list[dict] | None]:
+    kind, payload, index, traced = task
+    if not traced:
+        return _dispatch(kind, payload, index), None
     tracer = _trace.Tracer()
     with _trace.tracing(tracer):
-        with _trace.span("kernel.chunk", first_index=first_index) as span:
-            chunk = search_maximization_chunk(
-                candidates, member_steps, closure, arity, first_index
-            )
+        with _trace.span("kernel.chunk", kind=kind, first_index=index) as span:
+            chunk = _dispatch(kind, payload, index)
             span.add("mp.chunk_results", len(chunk))
     return chunk, tracer.records
+
+
+class KernelPool:
+    """One reusable worker pool spanning a whole ``speedup`` call.
+
+    The pool is created lazily on the first :meth:`map_chunks` that can
+    use it; a creation failure is remembered so callers fall back to
+    the serial loop exactly once.  Use as a context manager:
+    ``close()``/``join()`` on clean exit, ``terminate()`` when an
+    exception (for example a budget trip) escapes.
+    """
+
+    def __init__(self, workers: int | None):
+        self.workers = workers or 0
+        self._pool = None
+        self._failed = False
+
+    def usable(self) -> bool:
+        return self.workers > 1 and not self._failed
+
+    def _ensure(self):
+        if self._pool is None and not self._failed:
+            try:
+                self._pool = multiprocessing.get_context().Pool(
+                    processes=self.workers
+                )
+            except (OSError, ValueError):
+                self._failed = True
+        return self._pool
+
+    def map_chunks(
+        self, kind: str, payload: tuple, count: int, *, phase: str
+    ) -> list[list] | None:
+        """Run ``count`` chunks of ``kind`` across the pool.
+
+        Returns the list of per-chunk results in index order, or
+        ``None`` when the pool is unusable (``workers <= 1``, a single
+        chunk, or pool creation failed) — the caller then runs the
+        serial loop.  The parent fires ambient budget checkpoints and
+        counts ``mp.*`` between chunk results, and grafts worker-local
+        trace records under its open span.
+        """
+        if count <= 1 or not self.usable():
+            return None
+        pool = self._ensure()
+        if pool is None:
+            return None
+        traced = _trace.tracing_enabled()
+        tasks = [(kind, payload, index, traced) for index in range(count)]
+        chunks: list[list] = []
+        produced = 0
+        for index, (chunk, records) in enumerate(pool.imap(_run_task, tasks)):
+            _budget.check_configurations(
+                produced,
+                phase=phase,
+                chunk=index,
+                parallel_workers=self.workers,
+            )
+            _trace.add("mp.chunks")
+            _trace.add("mp.chunk_results", len(chunk))
+            if records is not None:
+                tracer = _trace.active_tracer()
+                if tracer is not None:
+                    tracer.graft(records)
+            chunks.append(chunk)
+            produced += len(chunk)
+        return chunks
+
+    def close(self) -> None:
+        """Clean shutdown: let queued workers finish, then join."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def terminate(self) -> None:
+        """Hard shutdown for the error path."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "KernelPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self.close()
+        else:
+            self.terminate()
+        return False
+
+
+def run_chunks_serial(
+    kind: str, payload: tuple, count: int, *, phase: str
+) -> list[list]:
+    """The in-process twin of :meth:`KernelPool.map_chunks`.
+
+    Same chunk decomposition, same budget checkpoints and ``mp.*``
+    counters at chunk granularity — used when a pool is unavailable so
+    parallel-requested runs behave identically minus the processes.
+    """
+    chunks: list[list] = []
+    produced = 0
+    for index in range(count):
+        _budget.check_configurations(produced, phase=phase, chunk=index)
+        chunk = _dispatch(kind, payload, index)
+        _trace.add("mp.chunks")
+        _trace.add("mp.chunk_results", len(chunk))
+        chunks.append(chunk)
+        produced += len(chunk)
+    return chunks
 
 
 def search_maximization_parallel(
@@ -75,53 +206,21 @@ def search_maximization_parallel(
     """Run the maximization DFS chunked across ``workers`` processes.
 
     Returns the same list, in the same order, as the serial search.
-    Falls back to in-process execution when only one chunk exists or
-    the pool cannot be created (restricted environments).
+    Kept as the stable entry point for callers without a shared
+    :class:`KernelPool`; falls back to the serial chunk loop when the
+    pool cannot help.
     """
-    traced = _trace.tracing_enabled()
-    tables = (candidates, member_steps, closure, arity, traced)
-    chunk_indices = range(len(candidates))
-    results: list[tuple[int, ...]] = []
-    try:
-        context = multiprocessing.get_context()
-        pool = context.Pool(
-            processes=workers,
-            initializer=_initialize_worker,
-            initargs=(tables,),
+    payload = (candidates, member_steps, closure, arity)
+    count = len(candidates)
+    with KernelPool(workers) as pool:
+        chunks = pool.map_chunks(
+            "node-max", payload, count, phase="node-maximization"
         )
-    except (OSError, ValueError):
-        for first_index in chunk_indices:
-            _budget.check_configurations(
-                len(results), phase="node-maximization", chunk=first_index
-            )
-            chunk = search_maximization_chunk(
-                candidates, member_steps, closure, arity, first_index
-            )
-            _trace.add("mp.chunks")
-            _trace.add("mp.chunk_results", len(chunk))
-            results.extend(chunk)
-        return results
-    try:
-        for first_index, (chunk, records) in enumerate(
-            pool.imap(_run_chunk, chunk_indices)
-        ):
-            _budget.check_configurations(
-                len(results),
-                phase="node-maximization",
-                chunk=first_index,
-                parallel_workers=workers,
-            )
-            _trace.add("mp.chunks")
-            _trace.add("mp.chunk_results", len(chunk))
-            if records is not None:
-                tracer = _trace.active_tracer()
-                if tracer is not None:
-                    tracer.graft(records)
-            results.extend(chunk)
-    finally:
-        pool.terminate()
-        pool.join()
-    return results
+    if chunks is None:
+        chunks = run_chunks_serial(
+            "node-max", payload, count, phase="node-maximization"
+        )
+    return [item for chunk in chunks for item in chunk]
 
 
-__all__ = ["search_maximization_parallel"]
+__all__ = ["KernelPool", "run_chunks_serial", "search_maximization_parallel"]

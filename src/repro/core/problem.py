@@ -74,6 +74,7 @@ class Problem:
         "name",
         "_compat_cache",
         "_kernel_cache",
+        "_canonical_cache",
     )
 
     def __init__(
@@ -110,6 +111,7 @@ class Problem:
         self.name = name
         self._compat_cache: dict = {}
         self._kernel_cache = None
+        self._canonical_cache = None
 
     @classmethod
     def from_text(

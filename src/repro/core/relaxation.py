@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from collections.abc import Hashable, Iterable
 
+from repro.core import cache as _cache
 from repro.core.configurations import Configuration
 from repro.core.diagram import Diagram
 from repro.core.problem import Problem
@@ -118,11 +119,17 @@ def find_label_relabeling(
     engine = "kernel" if use_kernel else "reference"
     with _trace.span("op.relabeling", engine=engine, delta=source.delta) as span:
         span.add("labels.in", len(source.alphabet))
-        if use_kernel:
-            from repro.core.kernel.engine import find_label_relabeling_kernel
 
-            return find_label_relabeling_kernel(source, target)
-        return _find_label_relabeling_reference(source, target)
+        def compute() -> dict | None:
+            if use_kernel:
+                from repro.core.kernel.engine import (
+                    find_label_relabeling_kernel,
+                )
+
+                return find_label_relabeling_kernel(source, target)
+            return _find_label_relabeling_reference(source, target)
+
+        return _cache.cached_relabeling(source, target, compute)
 
 
 def _find_label_relabeling_reference(source: Problem, target: Problem) -> dict | None:

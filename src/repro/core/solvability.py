@@ -25,6 +25,7 @@ from __future__ import annotations
 import itertools
 from fractions import Fraction
 
+from repro.core import cache as _cache
 from repro.core.configurations import Configuration
 from repro.core.problem import Problem
 from repro.observability import trace as _trace
@@ -47,11 +48,17 @@ def zero_round_solvable_pn(problem: Problem, *, use_kernel: bool = False) -> boo
         delta=problem.delta,
     ) as span:
         span.add("labels.in", len(problem.alphabet))
-        if use_kernel:
-            from repro.core.kernel.engine import zero_round_solvable_pn_kernel
 
-            return zero_round_solvable_pn_kernel(problem)
-        return _pn_witness(problem) is not None
+        def compute() -> bool:
+            if use_kernel:
+                from repro.core.kernel.engine import (
+                    zero_round_solvable_pn_kernel,
+                )
+
+                return zero_round_solvable_pn_kernel(problem)
+            return _pn_witness(problem) is not None
+
+        return _cache.cached_verdict("zero-round-pn", problem, compute)
 
 
 def zero_round_witness_pn(problem: Problem) -> Configuration | None:
@@ -92,13 +99,19 @@ def zero_round_solvable_symmetric(
         delta=problem.delta,
     ) as span:
         span.add("labels.in", len(problem.alphabet))
-        if use_kernel:
-            from repro.core.kernel.engine import (
-                zero_round_solvable_symmetric_kernel,
-            )
 
-            return zero_round_solvable_symmetric_kernel(problem)
-        return _symmetric_witness(problem) is not None
+        def compute() -> bool:
+            if use_kernel:
+                from repro.core.kernel.engine import (
+                    zero_round_solvable_symmetric_kernel,
+                )
+
+                return zero_round_solvable_symmetric_kernel(problem)
+            return _symmetric_witness(problem) is not None
+
+        return _cache.cached_verdict(
+            "zero-round-symmetric", problem, compute
+        )
 
 
 def zero_round_witness_symmetric(problem: Problem) -> Configuration | None:

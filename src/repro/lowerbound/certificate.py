@@ -37,6 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.algorithms.greedy import greedy_mis
+from repro.core import cache as _cache
 from repro.lowerbound.lemma5 import verify_lemma5
 from repro.lowerbound.lemma6 import verify_lemma6
 from repro.lowerbound.lemma8 import verify_lemma8_argument, verify_lemma8_direct
@@ -156,6 +157,24 @@ def build_certificate(
     checks = certificate.checks
     stage_name = _certificate_stage_name(delta, k)
     completed: set[str] = set()
+    cache = _cache.active_cache()
+    # Per-stage cache outcomes are buffered here and merged into
+    # provenance only after the last checkpoint write — persisted
+    # state must stay byte-identical between warm and cold runs.
+    cache_notes: list[str] = []
+
+    def _cache_marks() -> tuple[int, int]:
+        return (cache.hits, cache.misses) if cache is not None else (0, 0)
+
+    def _note_stage(stage: str, marks: tuple[int, int]) -> None:
+        if cache is None:
+            return
+        hit_delta = cache.hits - marks[0]
+        miss_delta = cache.misses - marks[1]
+        if hit_delta or miss_delta:
+            cache_notes.append(
+                f"cache: {stage} hit={hit_delta} miss={miss_delta}"
+            )
 
     with _trace.span("certificate.build", delta=delta, k=k) as build_span:
         if store is not None:
@@ -193,6 +212,7 @@ def build_certificate(
         if "chain" not in completed:
             if budget is not None:
                 budget.checkpoint(stage="chain")
+            marks = _cache_marks()
             certificate.chain_length = max(len(chain) - 1, 0)
             checks["lemma13 chain arithmetic"] = _safe(
                 lambda: verify_chain_arithmetic(chain)
@@ -203,6 +223,7 @@ def build_certificate(
                 n, delta, k
             )
             certificate.randomized_bound = theorem1_randomized_bound(n, delta, k)
+            _note_stage("chain", marks)
             persist("chain")
 
         # Lemma-level verification on a representative chain step.
@@ -221,6 +242,7 @@ def build_certificate(
             if "lemma6-8" not in completed:
                 if budget is not None:
                     budget.checkpoint(stage="lemma6-8")
+                marks = _cache_marks()
                 if delta <= ARGUMENT_VERIFICATION_LIMIT:
                     checks["lemma6 normal form"] = _safe(
                         lambda: verify_lemma6(delta, a, x)
@@ -230,28 +252,34 @@ def build_certificate(
                     )
                 else:
                     certificate.skipped.append("lemma 6/8 expansion")
+                _note_stage("lemma6-8", marks)
                 persist("lemma6-8")
 
             if "lemma8-direct" not in completed:
                 if budget is not None:
                     budget.checkpoint(stage="lemma8-direct")
+                marks = _cache_marks()
                 if delta <= DIRECT_VERIFICATION_LIMIT:
                     checks["lemma8 direct Rbar"] = _safe(
                         lambda: verify_lemma8_direct(delta, a, x)
                     )
                 else:
                     certificate.skipped.append("lemma8 direct Rbar")
+                _note_stage("lemma8-direct", marks)
                 persist("lemma8-direct")
 
             if "governed-speedup" not in completed:
+                marks = _cache_marks()
                 if budget is not None and budget.max_alphabet is not None:
                     budget.checkpoint(stage="governed-speedup")
                     _governed_engine_check(certificate, budget, delta, a, x)
+                _note_stage("governed-speedup", marks)
                 persist("governed-speedup")
 
             if "lemma9" not in completed:
                 if budget is not None:
                     budget.checkpoint(stage="lemma9")
+                marks = _cache_marks()
                 if (
                     delta <= ARGUMENT_VERIFICATION_LIMIT
                     and 2 * x + 1 <= a
@@ -262,18 +290,26 @@ def build_certificate(
                     )
                 else:
                     certificate.skipped.append("lemma9 witness")
+                _note_stage("lemma9", marks)
                 persist("lemma9")
 
             if "lemma5" not in completed:
                 if budget is not None:
                     budget.checkpoint(stage="lemma5")
+                marks = _cache_marks()
                 if delta <= INSTANCE_LIMIT:
                     checks["lemma5 instance witness"] = _safe(
                         lambda: _lemma5_witness(delta, k)
                     )
                 else:
                     certificate.skipped.append("lemma5 instance witness")
+                _note_stage("lemma5", marks)
                 persist("lemma5")
+    # Merged strictly after the final persist, like the trace summary:
+    # cache outcomes are observational and must never reach the store.
+    certificate.provenance.extend(cache_notes)
+    if cache is not None:
+        certificate.provenance.append(cache.summary_line())
     _append_trace_summary(certificate)
     return certificate
 

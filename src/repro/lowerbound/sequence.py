@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core import cache as _cache
 from repro.core.problem import Problem
 from repro.core.solvability import zero_round_solvable_symmetric
 from repro.lowerbound.lemma9 import lemma9_target_a
@@ -149,6 +150,13 @@ def run_chain(
     checked non-0-round-solvable (Lemma 12) before being persisted,
     and the engine used for the check is recorded in ``provenance``;
     ``use_kernel`` selects the bitmask fast path for those checks.
+
+    Under an ambient :func:`repro.core.cache.caching` store the
+    per-step Lemma 12 verdicts are served from the operator cache, and
+    each step's ``cache: step N zero-round hit|miss`` outcome lands in
+    ``provenance``.  Cache notes — like the trace summary — are
+    appended only after the final checkpoint write, so warm and cold
+    runs persist byte-identical state.
     """
     if delta < 1:
         raise ValueError("delta must be positive")
@@ -158,6 +166,8 @@ def run_chain(
     chain: list[ChainStep] = []
     resumed_from: int | None = None
     provenance: list[str] = []
+    cache = _cache.active_cache()
+    cache_notes: list[str] = []
     with _trace.span(
         "chain.run", delta=delta, x=x,
         engine="kernel" if use_kernel else "reference",
@@ -179,6 +189,7 @@ def run_chain(
                 chain_span.set_attr("resumed_from_step", resumed_from)
                 if state.get("complete"):
                     chain_span.add("chain.steps", len(chain))
+                    _append_cache_summary(provenance)
                     _append_trace_summary(provenance)
                     return ChainRunResult(
                         chain=chain,
@@ -218,17 +229,29 @@ def run_chain(
                     index, phase="chain-run", a=a_i, x=x_i
                 )
                 step = ChainStep(index=index, delta=delta, a=a_i, x=x_i)
-                if verify_steps and step_zero_round_solvable(
-                    step, use_kernel=use_kernel
-                ):
-                    raise AssertionError(
-                        f"{step.render()} is 0-round solvable (Lemma 12 fails)"
-                    )
+                if verify_steps:
+                    hits_before = cache.hits if cache is not None else 0
+                    if step_zero_round_solvable(step, use_kernel=use_kernel):
+                        raise AssertionError(
+                            f"{step.render()} is 0-round solvable "
+                            "(Lemma 12 fails)"
+                        )
+                    if cache is not None:
+                        outcome = (
+                            "hit" if cache.hits > hits_before else "miss"
+                        )
+                        cache_notes.append(
+                            f"cache: step {index} zero-round {outcome}"
+                        )
                 chain.append(step)
                 chain_span.add("chain.steps")
                 _trace.event("chain.step", index=index, a=a_i, x=x_i)
                 persist(complete=False)
         persist(complete=True)
+    # Observational notes only after the final persist: cache outcomes,
+    # like the trace summary, never land in checkpoint bytes.
+    provenance.extend(cache_notes)
+    _append_cache_summary(provenance)
     _append_trace_summary(provenance)
     return ChainRunResult(
         chain=chain,
@@ -236,6 +259,16 @@ def run_chain(
         resumed_from_step=resumed_from,
         provenance=provenance,
     )
+
+
+def _append_cache_summary(provenance: list[str]) -> None:
+    """Add the ambient cache's running totals to a provenance trail.
+
+    Observational only (never persisted), mirroring the trace summary.
+    """
+    cache = _cache.active_cache()
+    if cache is not None:
+        provenance.append(cache.summary_line())
 
 
 def _append_trace_summary(provenance: list[str]) -> None:

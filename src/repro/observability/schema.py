@@ -51,6 +51,10 @@ TIMING_COUNTERS = (
     "kernel.cache.miss",
     "galois.cache.hit",
     "galois.cache.miss",
+    "cache.hit",
+    "cache.miss",
+    "cache.bytes",
+    "cache.corrupt",
     "budget.checkpoints",
     "mp.chunks",
     "mp.chunk_results",

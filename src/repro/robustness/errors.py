@@ -31,6 +31,9 @@ working:
 * :class:`CheckpointCorrupt` — a checkpoint file on disk failed its
   integrity seal or did not parse; resume logic treats this as "start
   from scratch", never as data.
+* :class:`EngineMisuse` (also a ``ValueError``) — the caller asked for
+  an engine flag combination that does not exist, such as parallel
+  workers on the reference engine.
 """
 
 from __future__ import annotations
@@ -77,6 +80,10 @@ class CheckpointCorrupt(ReproError):
     """A checkpoint file failed its integrity seal or did not parse."""
 
 
+class EngineMisuse(ReproError, ValueError):
+    """An invalid engine flag combination was requested by the caller."""
+
+
 __all__ = [
     "ReproError",
     "InvalidProblem",
@@ -84,4 +91,5 @@ __all__ = [
     "BudgetExceeded",
     "AlphabetExplosion",
     "CheckpointCorrupt",
+    "EngineMisuse",
 ]

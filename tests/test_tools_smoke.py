@@ -135,6 +135,44 @@ class TestTraceReport:
         assert completed.returncode == 2
         assert completed.stderr.startswith("error:")
 
+    def test_cache_summary_on_uncached_trace(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        write_demo_trace(trace)
+        completed = run_script("tools/trace_report.py", "cache", str(trace))
+        assert completed.returncode == 0, completed.stderr
+        assert "operator cache:" in completed.stdout
+        gated = run_script(
+            "tools/trace_report.py", "cache", str(trace),
+            "--min-hit-rate", "0.9",
+        )
+        assert gated.returncode == 1  # no cache activity at all
+        assert "no operator cache activity" in gated.stderr
+
+    def test_cache_gate_passes_on_warm_rerun(self, tmp_path):
+        """The CI warm-cache step, end to end: two identical cached
+        runs, the second one >= 90% hits."""
+        environment = dict(os.environ)
+        environment["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        environment["REPRO_CACHE_DIR"] = str(tmp_path / "opcache")
+        problem_text = "M^4\nP O^3\n\nM [PO]\nO O\n"
+        for run in ("cold", "warm"):
+            completed = subprocess.run(
+                [
+                    sys.executable, "examples/round_eliminator_cli.py", "2",
+                    "--kernel", "--cache",
+                    "--trace", str(tmp_path / f"{run}.jsonl"),
+                ],
+                cwd=REPO_ROOT, env=environment, input=problem_text,
+                capture_output=True, text=True, timeout=300,
+            )
+            assert completed.returncode == 0, completed.stderr
+        gate = run_script(
+            "tools/trace_report.py", "cache", str(tmp_path / "warm.jsonl"),
+            "--min-hit-rate", "0.9",
+        )
+        assert gate.returncode == 0, gate.stderr + gate.stdout
+        assert "hit_rate=100.00%" in gate.stdout
+
 
 class TestCliTraceFlags:
     def test_round_eliminator_trace_and_metrics(self, tmp_path):

@@ -2,6 +2,8 @@
 
 Run:  PYTHONPATH=src python tools/trace_report.py report <trace.jsonl>
       PYTHONPATH=src python tools/trace_report.py diff <a.jsonl> <b.jsonl>
+      PYTHONPATH=src python tools/trace_report.py cache <trace.jsonl> \
+          [--min-hit-rate <fraction>]
 
 ``report`` validates the trace against the documented schema and prints
 the per-phase table: one row per span name with occurrence count, total
@@ -16,6 +18,13 @@ a kernel trace of the same workload must agree semantically while
 differing wildly in cache behavior.  Exit status is 0 on zero drift,
 1 when the profiles differ (each drifting counter is printed), and 2
 on unreadable or schema-invalid input.
+
+``cache`` summarizes the operator-cache counters (``cache.hit``,
+``cache.miss``, ``cache.bytes``, ``cache.corrupt``) of one trace and
+prints the hit rate.  With ``--min-hit-rate`` the exit status is 1
+when the observed rate falls below the threshold or when the trace
+shows no cache activity at all — CI uses this to assert that a warm
+rerun actually hit the cache.
 """
 
 from __future__ import annotations
@@ -31,13 +40,15 @@ from repro.observability.metrics import (
     diff_semantic_profiles,
     render_phase_table,
     semantic_profile,
+    total_counters,
     trace_summary_line,
 )
 from repro.observability.schema import load_trace
 
 USAGE = (
     "usage: trace_report.py report <trace.jsonl>\n"
-    "       trace_report.py diff <a.jsonl> <b.jsonl>"
+    "       trace_report.py diff <a.jsonl> <b.jsonl>\n"
+    "       trace_report.py cache <trace.jsonl> [--min-hit-rate <fraction>]"
 )
 
 
@@ -82,6 +93,35 @@ def diff(first_path: str, second_path: str) -> int:
     return 1
 
 
+def cache(path: str, minimum_hit_rate: float | None) -> int:
+    totals = total_counters(_load(path))
+    hits = totals.get("cache.hit", 0)
+    misses = totals.get("cache.miss", 0)
+    lookups = hits + misses
+    rate = hits / lookups if lookups else 0.0
+    print(
+        f"operator cache: hits={hits} misses={misses} "
+        f"hit_rate={rate:.2%} stored_bytes={totals.get('cache.bytes', 0)} "
+        f"corrupt={totals.get('cache.corrupt', 0)}"
+    )
+    if minimum_hit_rate is not None:
+        if not lookups:
+            print(
+                "error: no operator cache activity in trace "
+                "(was a cache active?)",
+                file=sys.stderr,
+            )
+            return 1
+        if rate < minimum_hit_rate:
+            print(
+                f"error: hit rate {rate:.2%} below required "
+                f"{minimum_hit_rate:.2%}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def main(argv: list[str]) -> int:
     if not argv:
         print(USAGE, file=sys.stderr)
@@ -95,6 +135,18 @@ def main(argv: list[str]) -> int:
         if len(operands) != 2:
             raise _fail("diff takes exactly two trace files\n" + USAGE)
         return diff(operands[0], operands[1])
+    if command == "cache":
+        minimum: float | None = None
+        if "--min-hit-rate" in operands:
+            where = operands.index("--min-hit-rate")
+            try:
+                minimum = float(operands[where + 1])
+            except (IndexError, ValueError):
+                raise _fail("--min-hit-rate needs a number\n" + USAGE)
+            operands = operands[:where] + operands[where + 2 :]
+        if len(operands) != 1:
+            raise _fail("cache takes exactly one trace file\n" + USAGE)
+        return cache(operands[0], minimum)
     raise _fail(f"unknown command {command!r}\n" + USAGE)
 
 
