@@ -16,7 +16,7 @@ benchmarks compare against log*(n).
 from __future__ import annotations
 
 from repro.sim.graph import Graph
-from repro.sim.runtime import Algorithm, RunResult, run
+from repro.sim.runtime import Algorithm, NodeView, RunResult, run
 from repro.algorithms.trees import parent_ports
 
 
@@ -38,7 +38,7 @@ class ColeVishkinColoring(Algorithm):
     color in {0, 1, 2}.
     """
 
-    def init(self, view) -> None:
+    def init(self, view: NodeView) -> None:
         super().init(view)
         self.parent_port = view.input
         self.color = view.id  # initial n-coloring from identifiers
@@ -52,10 +52,10 @@ class ColeVishkinColoring(Algorithm):
             self.color = 0
             self.halted = True
 
-    def send(self):
+    def send(self) -> dict[int, object]:
         return {port: self.color for port in range(self.view.degree)}
 
-    def receive(self, messages) -> bool:
+    def receive(self, messages: dict[int, object]) -> bool:
         step = self.schedule[self.step_index]
         parent_color = (
             messages.get(self.parent_port) if self.parent_port is not None else None

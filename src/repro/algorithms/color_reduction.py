@@ -22,7 +22,7 @@ from __future__ import annotations
 import math
 
 from repro.sim.graph import Graph
-from repro.sim.runtime import Algorithm, RunResult, run
+from repro.sim.runtime import Algorithm, NodeView, RunResult, run
 
 
 def _is_prime(value: int) -> bool:
@@ -108,7 +108,7 @@ def reduction_schedule(m: int, delta: int) -> list[int]:
 class LinialReduction(Algorithm):
     """Iterated Linial steps from the id coloring, LOCAL model."""
 
-    def init(self, view) -> None:
+    def init(self, view: NodeView) -> None:
         super().init(view)
         self.delta = view.delta
         self.color = view.id
@@ -117,10 +117,10 @@ class LinialReduction(Algorithm):
         if len(self.sizes) == 1:
             self.halted = True
 
-    def send(self):
+    def send(self) -> dict[int, object]:
         return {port: self.color for port in range(self.view.degree)}
 
-    def receive(self, messages) -> bool:
+    def receive(self, messages: dict[int, object]) -> bool:
         m = self.sizes[self.step_index]
         self.color = linial_step_color(
             self.color, list(messages.values()), m, max(self.delta, 1)
@@ -147,7 +147,7 @@ class SlowColorReduction(Algorithm):
     set, so simultaneous re-picks are safe.
     """
 
-    def init(self, view) -> None:
+    def init(self, view: NodeView) -> None:
         super().init(view)
         self.color, self.palette = view.input
         self.target = view.delta + 1
@@ -156,10 +156,10 @@ class SlowColorReduction(Algorithm):
         if self.rounds_needed == 0:
             self.halted = True
 
-    def send(self):
+    def send(self) -> dict[int, object]:
         return {port: self.color for port in range(self.view.degree)}
 
-    def receive(self, messages) -> bool:
+    def receive(self, messages: dict[int, object]) -> bool:
         retiring = self.palette - 1 - self.round_index
         if self.color == retiring:
             taken = set(messages.values())

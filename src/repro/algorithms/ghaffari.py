@@ -14,13 +14,13 @@ from __future__ import annotations
 import random
 
 from repro.sim.graph import Graph
-from repro.sim.runtime import Algorithm, RunResult, run
+from repro.sim.runtime import Algorithm, NodeView, RunResult, run
 
 
 class GhaffariMIS(Algorithm):
     """Message-passing implementation of the desire-level dynamics."""
 
-    def init(self, view) -> None:
+    def init(self, view: NodeView) -> None:
         super().init(view)
         self.state = "active"
         self.phase = "mark"
@@ -28,7 +28,7 @@ class GhaffariMIS(Algorithm):
         self.marked = False
         self.active_ports = set(range(view.degree))
 
-    def send(self):
+    def send(self) -> dict[int, object]:
         if self.phase == "mark":
             self.marked = self.view.rng.random() < self.desire
             return {
@@ -39,7 +39,7 @@ class GhaffariMIS(Algorithm):
             port: ("announce", self.state == "in") for port in self.active_ports
         }
 
-    def receive(self, messages) -> bool:
+    def receive(self, messages: dict[int, object]) -> bool:
         if self.phase == "mark":
             neighbor_marked = any(
                 marked for kind, marked, _ in messages.values()

@@ -15,7 +15,7 @@ from __future__ import annotations
 import random
 
 from repro.sim.graph import Graph
-from repro.sim.runtime import Algorithm, RunResult, run
+from repro.sim.runtime import Algorithm, NodeView, RunResult, run
 
 
 class LubyMIS(Algorithm):
@@ -25,21 +25,21 @@ class LubyMIS(Algorithm):
     one to exchange priorities, one to announce joins.
     """
 
-    def init(self, view) -> None:
+    def init(self, view: NodeView) -> None:
         super().init(view)
         self.state = "active"     # active | in | out
         self.phase = "priority"   # priority | announce
         self.priority = None
         self.active_ports = set(range(view.degree))
 
-    def send(self):
+    def send(self) -> dict[int, object]:
         if self.phase == "priority":
             self.priority = self.view.rng.random()
             return {port: ("priority", self.priority) for port in self.active_ports}
         joined = self.state == "in"
         return {port: ("announce", joined) for port in self.active_ports}
 
-    def receive(self, messages) -> bool:
+    def receive(self, messages: dict[int, object]) -> bool:
         if self.phase == "priority":
             neighbor_priorities = [
                 value for kind, value in messages.values() if kind == "priority"

@@ -17,7 +17,8 @@ from dataclasses import dataclass
 
 from repro.algorithms.trees import orient_toward_parent
 from repro.sim.graph import Graph
-from repro.sim.runtime import Algorithm, RunResult, run
+from repro.sim.runtime import Algorithm, NodeView, RunResult, run
+from repro.robustness.errors import EngineMisuse
 
 
 class GroupSweep(Algorithm):
@@ -26,7 +27,7 @@ class GroupSweep(Algorithm):
     Input: ``(group_index, group_count)``.  Output: bool (selected).
     """
 
-    def init(self, view) -> None:
+    def init(self, view: NodeView) -> None:
         super().init(view)
         self.group, self.group_count = view.input
         self.joined = False
@@ -35,10 +36,10 @@ class GroupSweep(Algorithm):
         if self.group_count == 0:
             self.halted = True
 
-    def send(self):
+    def send(self) -> dict[int, object]:
         return {port: self.joined for port in range(self.view.degree)}
 
-    def receive(self, messages) -> bool:
+    def receive(self, messages: dict[int, object]) -> bool:
         # Messages carry neighbor decisions as of the previous rounds.
         if any(messages.values()):
             self.blocked = True
@@ -80,7 +81,7 @@ def run_kods_sweep(
     graph must be a tree (the rooting orients the induced edges).
     """
     if k < 0:
-        raise ValueError("k must be non-negative")
+        raise EngineMisuse("k must be non-negative")
     group_size = k + 1
     group_count = (palette + group_size - 1) // group_size
     inputs = [(colors[node] // group_size, group_count) for node in range(graph.n)]

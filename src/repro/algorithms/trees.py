@@ -11,12 +11,13 @@ deliberate substitution in DESIGN.md.
 from __future__ import annotations
 
 from repro.sim.graph import Graph
+from repro.robustness.errors import InvalidGraph
 
 
 def root_tree(graph: Graph, root: int = 0) -> list[int | None]:
     """Parent of every node in the tree rooted at ``root`` (None there)."""
     if not graph.is_tree():
-        raise ValueError("root_tree needs a tree")
+        raise InvalidGraph("root_tree needs a tree")
     parent: list[int | None] = [None] * graph.n
     seen = {root}
     queue = [root]
@@ -62,11 +63,11 @@ def spread_tree_coloring(graph: Graph, palette: int, root: int = 0) -> list[int]
     tree and hides the Delta/(k+1) scaling of the sweep experiments.
     """
     if palette < max(graph.max_degree(), 2):
-        raise ValueError(
+        raise InvalidGraph(
             f"palette {palette} too small for max degree {graph.max_degree()}"
         )
     if not graph.is_tree():
-        raise ValueError("spread_tree_coloring needs a tree")
+        raise InvalidGraph("spread_tree_coloring needs a tree")
     colors = [-1] * graph.n
     colors[root] = 0
     queue = [root]

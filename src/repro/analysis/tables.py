@@ -8,20 +8,21 @@ place and dependency-free.
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+from repro.robustness.errors import EngineMisuse
 
 
 class Table:
     """A fixed-width text table with a title and typed cells."""
 
-    def __init__(self, title: str, columns: Sequence[str]):
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
         self.title = title
         self.columns = list(columns)
         self.rows: list[list[str]] = []
 
-    def add_row(self, *cells) -> None:
+    def add_row(self, *cells: object) -> None:
         """Append a row; cells are formatted (floats to 2 decimals)."""
         if len(cells) != len(self.columns):
-            raise ValueError(
+            raise EngineMisuse(
                 f"expected {len(self.columns)} cells, got {len(cells)}"
             )
         self.rows.append([_format(cell) for cell in cells])
@@ -46,12 +47,12 @@ class Table:
 
     def print(self) -> None:
         """Print the rendered table, framed by blank lines."""
-        print()
-        print(self.render())
-        print()
+        print()  # reprolint: disable=RL007 -- explicit console renderer for the experiment scripts
+        print(self.render())  # reprolint: disable=RL007 -- explicit console renderer for the experiment scripts
+        print()  # reprolint: disable=RL007 -- explicit console renderer for the experiment scripts
 
 
-def _format(cell) -> str:
+def _format(cell: object) -> str:
     if isinstance(cell, bool):
         return "yes" if cell else "no"
     if isinstance(cell, float):

@@ -59,7 +59,7 @@ from __future__ import annotations
 import itertools
 import os
 from collections import OrderedDict
-from collections.abc import Callable, Hashable
+from collections.abc import Callable, Hashable, Iterator
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass
@@ -77,7 +77,7 @@ from repro.core.labels import Alphabet, render_label
 from repro.core.problem import Problem
 from repro.observability import trace as _trace
 from repro.robustness import budget as _budget
-from repro.robustness.errors import CheckpointCorrupt, InvalidProblem
+from repro.robustness.errors import CheckpointCorrupt, EngineMisuse, InvalidProblem
 
 #: Bump to invalidate every cached operator result at once (key schema
 #: includes it, so stale entries are simply never looked up again).
@@ -144,7 +144,7 @@ def _refined_colors(problem: Problem, labels: list) -> dict:
         color = refined
 
 
-def _block_orders(blocks: list[list]):
+def _block_orders(blocks: list[list]) -> Iterator[list]:
     """All label orders that respect the block sequence."""
     for arrangement in itertools.product(
         *(itertools.permutations(block) for block in blocks)
@@ -248,8 +248,8 @@ class OperatorCache:
     """In-process LRU plus an optional sealed on-disk JSON store."""
 
     def __init__(
-        self, directory=None, *, max_entries: int = 4096
-    ):
+        self, directory: str | Path | None = None, *, max_entries: int = 4096
+    ) -> None:
         self.directory = Path(directory).expanduser() if directory else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
@@ -262,10 +262,10 @@ class OperatorCache:
 
     def path_for(self, key: str) -> Path:
         if self.directory is None:
-            raise ValueError("cache has no on-disk tier")
+            raise EngineMisuse("cache has no on-disk tier")
         return self.directory / f"{key}.json"
 
-    def lookup(self, key: str):
+    def lookup(self, key: str) -> dict | None:
         """The stored payload for ``key``, or ``None`` on a miss.
 
         A disk entry that fails its integrity seal is evicted and
@@ -338,7 +338,7 @@ def active_cache() -> OperatorCache | None:
 
 
 @contextmanager
-def caching(cache: OperatorCache | None):
+def caching(cache: OperatorCache | None) -> Iterator[OperatorCache | None]:
     """Install ``cache`` as the ambient operator cache.
 
     ``caching(None)`` is a no-op passthrough, mirroring the ambient

@@ -25,9 +25,10 @@ from collections import Counter
 from collections.abc import Hashable, Iterable, Iterator
 
 from repro.core.labels import render_label, render_label_set
+from repro.robustness.errors import InvalidProblem
 
 
-def _label_sort_key(label: Hashable):
+def _label_sort_key(label: Hashable) -> str:
     return render_label(label)
 
 
@@ -40,10 +41,10 @@ class Configuration:
 
     __slots__ = ("_items",)
 
-    def __init__(self, labels: Iterable[Hashable]):
+    def __init__(self, labels: Iterable[Hashable]) -> None:
         self._items: tuple[Hashable, ...] = tuple(sorted(labels, key=_label_sort_key))
         if not self._items:
-            raise ValueError("a configuration must contain at least one label")
+            raise InvalidProblem("a configuration must contain at least one label")
 
     def __iter__(self) -> Iterator[Hashable]:
         return iter(self._items)
@@ -116,7 +117,7 @@ class Configuration:
         for label, delta in adjustments.items():
             counts[label] += delta
             if counts[label] < 0:
-                raise ValueError(f"multiplicity of {label!r} would become negative")
+                raise InvalidProblem(f"multiplicity of {label!r} would become negative")
         return Configuration(counts.elements())
 
     def render(self) -> str:
@@ -135,10 +136,10 @@ class Disjunction:
 
     __slots__ = ("_labels",)
 
-    def __init__(self, labels: Iterable[Hashable]):
+    def __init__(self, labels: Iterable[Hashable]) -> None:
         self._labels = frozenset(labels)
         if not self._labels:
-            raise ValueError("a disjunction must offer at least one label")
+            raise InvalidProblem("a disjunction must offer at least one label")
 
     def __iter__(self) -> Iterator[Hashable]:
         return iter(sorted(self._labels, key=_label_sort_key))
@@ -184,15 +185,15 @@ class CondensedConfiguration:
 
     __slots__ = ("_parts",)
 
-    def __init__(self, parts: Iterable[tuple[Disjunction, int]]):
+    def __init__(self, parts: Iterable[tuple[Disjunction, int]]) -> None:
         normalized: Counter = Counter()
         for disjunction, exponent in parts:
             if exponent < 0:
-                raise ValueError("exponents must be non-negative")
+                raise InvalidProblem("exponents must be non-negative")
             if exponent:
                 normalized[disjunction] += exponent
         if not normalized:
-            raise ValueError("a condensed configuration must be non-empty")
+            raise InvalidProblem("a condensed configuration must be non-empty")
         self._parts: tuple[tuple[Disjunction, int], ...] = tuple(
             sorted(normalized.items(), key=lambda item: item[0].render())
         )
@@ -311,10 +312,10 @@ def parse_condensed(text: str) -> CondensedConfiguration:
         if text[position] == "(":
             end = text.find(")", position)
             if end < 0:
-                raise ValueError(f"unclosed '(' at offset {position} in {text!r}")
+                raise InvalidProblem(f"unclosed '(' at offset {position} in {text!r}")
             label = text[position + 1 : end]
             if not label:
-                raise ValueError(f"empty label at offset {position} in {text!r}")
+                raise InvalidProblem(f"empty label at offset {position} in {text!r}")
             position = end + 1
             return label
         label = text[position]
@@ -332,16 +333,16 @@ def parse_condensed(text: str) -> CondensedConfiguration:
             while True:
                 skip_spaces()
                 if position >= length:
-                    raise ValueError(f"unclosed '[' in {text!r}")
+                    raise InvalidProblem(f"unclosed '[' in {text!r}")
                 if text[position] == "]":
                     position += 1
                     break
                 members.append(parse_label())
             if not members:
-                raise ValueError(f"empty disjunction in {text!r}")
+                raise InvalidProblem(f"empty disjunction in {text!r}")
             disjunction = Disjunction(members)
         elif character in ")]^":
-            raise ValueError(f"unexpected {character!r} at offset {position} in {text!r}")
+            raise InvalidProblem(f"unexpected {character!r} at offset {position} in {text!r}")
         else:
             disjunction = Disjunction([parse_label()])
         exponent = 1
@@ -353,9 +354,9 @@ def parse_condensed(text: str) -> CondensedConfiguration:
             while position < length and text[position].isdigit():
                 position += 1
             if start == position:
-                raise ValueError(f"missing exponent at offset {position} in {text!r}")
+                raise InvalidProblem(f"missing exponent at offset {position} in {text!r}")
             exponent = int(text[start:position])
         parts.append((disjunction, exponent))
     if not parts:
-        raise ValueError("empty configuration string")
+        raise InvalidProblem("empty configuration string")
     return CondensedConfiguration(parts)

@@ -16,6 +16,7 @@ from repro.core.configurations import (
     Configuration,
     parse_condensed,
 )
+from repro.robustness.errors import InvalidProblem
 
 
 class Constraint:
@@ -23,13 +24,13 @@ class Constraint:
 
     __slots__ = ("_configurations", "_arity")
 
-    def __init__(self, configurations: Iterable[Configuration]):
+    def __init__(self, configurations: Iterable[Configuration]) -> None:
         self._configurations: frozenset[Configuration] = frozenset(configurations)
         if not self._configurations:
-            raise ValueError("a constraint must allow at least one configuration")
+            raise InvalidProblem("a constraint must allow at least one configuration")
         arities = {configuration.arity for configuration in self._configurations}
         if len(arities) != 1:
-            raise ValueError(f"mixed arities in constraint: {sorted(arities)}")
+            raise InvalidProblem(f"mixed arities in constraint: {sorted(arities)}")
         (self._arity,) = arities
 
     @classmethod
@@ -118,7 +119,7 @@ class Constraint:
     def union(self, other: "Constraint") -> "Constraint":
         """Constraint allowing the configurations of either operand."""
         if other.arity != self._arity:
-            raise ValueError("cannot union constraints of different arities")
+            raise InvalidProblem("cannot union constraints of different arities")
         return Constraint(self._configurations | other._configurations)
 
     def is_subset_of(self, other: "Constraint") -> bool:

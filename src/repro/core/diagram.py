@@ -17,10 +17,14 @@ from __future__ import annotations
 
 import itertools
 from collections.abc import Hashable, Iterable
+from typing import TYPE_CHECKING
 
 from repro.core.constraints import Constraint
 from repro.core.labels import render_label
 from repro.robustness.errors import InvalidProblem
+
+if TYPE_CHECKING:
+    from repro.core.problem import Problem
 
 
 class Diagram:
@@ -28,7 +32,7 @@ class Diagram:
 
     __slots__ = ("_labels", "_ge")
 
-    def __init__(self, constraint: Constraint, labels: Iterable[Hashable]):
+    def __init__(self, constraint: Constraint, labels: Iterable[Hashable]) -> None:
         self._labels: tuple[Hashable, ...] = tuple(labels)
         self._ge: dict[tuple[Hashable, Hashable], bool] = {}
         for strong, weak in itertools.product(self._labels, repeat=2):
@@ -145,12 +149,12 @@ def _at_least_as_strong(constraint: Constraint, strong: Hashable, weak: Hashable
     return True
 
 
-def edge_diagram(problem) -> Diagram:
+def edge_diagram(problem: Problem) -> Diagram:
     """The diagram of a problem w.r.t. its edge constraint (Fig. 1, 4)."""
     return Diagram(problem.edge_constraint, problem.alphabet)
 
 
-def node_diagram(problem) -> Diagram:
+def node_diagram(problem: Problem) -> Diagram:
     """The diagram of a problem w.r.t. its node constraint (Fig. 5)."""
     return Diagram(problem.node_constraint, problem.alphabet)
 

@@ -23,7 +23,7 @@ import tempfile
 from repro.core.configurations import Configuration
 from repro.core.labels import render_label
 from repro.core.problem import Problem
-from repro.robustness.errors import CheckpointCorrupt
+from repro.robustness.errors import CheckpointCorrupt, InvalidProblem
 
 
 def problem_to_text(problem: Problem) -> str:
@@ -53,7 +53,7 @@ def problem_from_text(text: str, name: str = "") -> Problem:
             continue
         current.append(line.strip())
     if not node_lines or not edge_lines:
-        raise ValueError("expected node lines, a blank line, then edge lines")
+        raise InvalidProblem("expected node lines, a blank line, then edge lines")
     return Problem.from_text(node_lines, edge_lines, name=name)
 
 
@@ -99,17 +99,17 @@ def problem_from_json(text: str) -> Problem:
 # Checkpoint files: atomic, integrity-sealed JSON
 # ---------------------------------------------------------------------------
 
-def canonical_json(payload) -> str:
+def canonical_json(payload: object) -> str:
     """Canonical (sorted-key, minimal-separator) JSON for hashing."""
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
-def payload_digest(payload) -> str:
+def payload_digest(payload: object) -> str:
     """The SHA-256 hex digest of the canonical JSON of ``payload``."""
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 
-def write_json_checkpoint(path, payload) -> None:
+def write_json_checkpoint(path: str | os.PathLike, payload: object) -> None:
     """Atomically write ``payload`` to ``path`` with an integrity seal.
 
     The document is ``{"sha256": <digest>, "payload": <payload>}``;
@@ -139,7 +139,7 @@ def write_json_checkpoint(path, payload) -> None:
         raise
 
 
-def read_json_checkpoint(path):
+def read_json_checkpoint(path: str | os.PathLike) -> object:
     """Read a checkpoint written by :func:`write_json_checkpoint`.
 
     Raises :class:`~repro.robustness.errors.CheckpointCorrupt` when the

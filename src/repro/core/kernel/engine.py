@@ -53,6 +53,10 @@ from repro.core.problem import Problem
 from repro.observability import trace as _trace
 from repro.robustness import budget as _budget
 from repro.robustness.errors import InvalidProblem
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.core.kernel.parallel import KernelPool
 
 
 def _set_sort_key(labels: frozenset) -> tuple:
@@ -77,7 +81,7 @@ class KernelProblem:
         "_node_prefix_closure",
     )
 
-    def __init__(self, problem: Problem):
+    def __init__(self, problem: Problem) -> None:
         self.problem = problem
         interner = LabelInterner(problem.alphabet)
         self.interner = interner
@@ -164,7 +168,7 @@ class KernelProblem:
         n = self.n
         containing: list[list[tuple[int, ...]]] = [[] for _ in range(n)]
         for configuration in self.node_configs:
-            for index in set(configuration):
+            for index in sorted(set(configuration)):
                 containing[index].append(configuration)
         ge = [[False] * n for _ in range(n)]
         for strong in range(n):
@@ -304,7 +308,7 @@ def edge_pairing_chunk(
 
 
 def maximize_edge_constraint_kernel(
-    problem: Problem, *, pool=None
+    problem: Problem, *, pool: KernelPool | None = None
 ) -> Constraint:
     """Kernel twin of :func:`repro.core.round_elimination.maximize_edge_constraint`.
 
@@ -480,7 +484,7 @@ def prune_non_maximal_masks(
 
 
 def maximize_node_constraint_kernel(
-    problem: Problem, *, workers: int | None = None, pool=None
+    problem: Problem, *, workers: int | None = None, pool: KernelPool | None = None
 ) -> Constraint:
     """Kernel twin of :func:`repro.core.round_elimination.maximize_node_constraint`.
 
@@ -610,7 +614,7 @@ def existential_constraint_kernel(
     new_labels: Iterable[frozenset],
     arity: int,
     *,
-    pool=None,
+    pool: KernelPool | None = None,
 ) -> Constraint:
     """Kernel twin of :func:`repro.core.round_elimination.existential_constraint`.
 
@@ -690,7 +694,7 @@ def existential_constraint_kernel(
 # The R / Rbar operators
 # ---------------------------------------------------------------------------
 
-def kernel_R(problem: Problem, *, pool=None) -> Problem:
+def kernel_R(problem: Problem, *, pool: KernelPool | None = None) -> Problem:
     """Kernel twin of :func:`repro.core.round_elimination.R`.
 
     A usable ``pool`` (a :class:`~repro.core.kernel.parallel.KernelPool`)
@@ -716,7 +720,7 @@ def kernel_R(problem: Problem, *, pool=None) -> Problem:
 
 
 def kernel_Rbar(
-    problem: Problem, *, workers: int | None = None, pool=None
+    problem: Problem, *, workers: int | None = None, pool: KernelPool | None = None
 ) -> Problem:
     """Kernel twin of :func:`repro.core.round_elimination.Rbar`.
 
@@ -819,7 +823,9 @@ def find_label_relabeling_kernel(source: Problem, target: Problem) -> dict | Non
     source_interner = LabelInterner(source.alphabet)
     target_interner = LabelInterner(target.alphabet)
 
-    def interned_constraint(constraint, interner):
+    def interned_constraint(
+        constraint: Constraint, interner: LabelInterner
+    ) -> frozenset[frozenset[int]]:
         return frozenset(
             interner.ids_of(configuration.items)
             for configuration in constraint.configurations

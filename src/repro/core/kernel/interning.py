@@ -31,7 +31,7 @@ class LabelInterner:
 
     __slots__ = ("_labels", "_ids")
 
-    def __init__(self, labels: Iterable[Hashable]):
+    def __init__(self, labels: Iterable[Hashable]) -> None:
         ordered = sorted(set(labels), key=render_label)
         self._labels: tuple[Hashable, ...] = tuple(ordered)
         self._ids: dict[Hashable, int] = {

@@ -45,6 +45,7 @@ untraced run ships nothing extra at all.
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.pool
 
 from repro.core.kernel.engine import (
     edge_pairing_chunk,
@@ -53,6 +54,7 @@ from repro.core.kernel.engine import (
 )
 from repro.observability import trace as _trace
 from repro.robustness import budget as _budget
+from repro.robustness.errors import EngineMisuse
 
 
 def _dispatch(kind: str, payload: tuple, index: int) -> list:
@@ -69,7 +71,7 @@ def _dispatch(kind: str, payload: tuple, index: int) -> list:
         low = index * chunk_size
         high = min(low + chunk_size, len(closed_sets))
         return edge_pairing_chunk(compat, closed_sets, low, high)
-    raise ValueError(f"unknown chunk kind: {kind}")
+    raise EngineMisuse(f"unknown chunk kind: {kind}")
 
 
 def _run_task(task: tuple) -> tuple[list, list[dict] | None]:
@@ -94,7 +96,7 @@ class KernelPool:
     exception (for example a budget trip) escapes.
     """
 
-    def __init__(self, workers: int | None):
+    def __init__(self, workers: int | None) -> None:
         self.workers = workers or 0
         self._pool = None
         self._failed = False
@@ -102,7 +104,7 @@ class KernelPool:
     def usable(self) -> bool:
         return self.workers > 1 and not self._failed
 
-    def _ensure(self):
+    def _ensure(self) -> multiprocessing.pool.Pool | None:
         if self._pool is None and not self._failed:
             try:
                 self._pool = multiprocessing.get_context().Pool(
@@ -167,7 +169,12 @@ class KernelPool:
     def __enter__(self) -> "KernelPool":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: object,
+    ) -> bool:
         if exc_type is None:
             self.close()
         else:

@@ -13,7 +13,8 @@ and Lemma 8.
 from __future__ import annotations
 
 import string
-from collections.abc import Hashable, Iterable
+from collections.abc import Hashable, Iterable, Iterator
+from repro.robustness.errors import InvalidProblem
 
 #: A label as produced by one application of R / R-bar: a set of labels
 #: of the previous problem.
@@ -55,18 +56,18 @@ class Alphabet:
 
     __slots__ = ("_labels", "_index")
 
-    def __init__(self, labels: Iterable[Hashable]):
+    def __init__(self, labels: Iterable[Hashable]) -> None:
         seen: dict[Hashable, int] = {}
         ordered: list[Hashable] = []
         for label in labels:
             if label in seen:
-                raise ValueError(f"duplicate label {label!r} in alphabet")
+                raise InvalidProblem(f"duplicate label {label!r} in alphabet")
             seen[label] = len(ordered)
             ordered.append(label)
         self._labels: tuple[Hashable, ...] = tuple(ordered)
         self._index: dict[Hashable, int] = seen
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Hashable]:
         return iter(self._labels)
 
     def __len__(self) -> int:
@@ -95,7 +96,7 @@ class Alphabet:
         """Position of ``label`` in the alphabet (insertion order)."""
         return self._index[label]
 
-    def sort_key(self, label: Hashable):
+    def sort_key(self, label: Hashable) -> tuple[int, str]:
         """A key sorting labels by alphabet order; unknown labels last."""
         return (self._index.get(label, len(self._labels)), render_label(label))
 

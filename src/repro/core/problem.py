@@ -18,7 +18,7 @@ from repro.robustness.errors import InvalidProblem
 
 
 def _first_configuration_using(
-    node_constraint: Constraint, edge_constraint: Constraint, labels
+    node_constraint: Constraint, edge_constraint: Constraint, labels: frozenset
 ) -> str:
     """Render the first configuration touching any of ``labels``."""
     for constraint in (node_constraint, edge_constraint):
@@ -28,7 +28,7 @@ def _first_configuration_using(
     return "<none>"
 
 
-def _check_duplicate_node_lines(node_lines, name: str = "") -> None:
+def _check_duplicate_node_lines(node_lines: Iterable[str], name: str = "") -> None:
     """Reject a node configuration spelled out twice in different ways.
 
     Only *simple* lines — those expanding to a single configuration —
@@ -83,7 +83,7 @@ class Problem:
         node_constraint: Constraint,
         edge_constraint: Constraint,
         name: str = "",
-    ):
+    ) -> None:
         if not isinstance(alphabet, Alphabet):
             alphabet = Alphabet(alphabet)
         if edge_constraint.arity != 2:

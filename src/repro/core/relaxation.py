@@ -23,7 +23,7 @@ Three related notions live here:
 
 from __future__ import annotations
 
-from collections.abc import Hashable, Iterable
+from collections.abc import Callable, Hashable, Iterable
 
 from repro.core import cache as _cache
 from repro.core.configurations import Configuration
@@ -70,11 +70,13 @@ def relaxation_witness(
     return rho
 
 
-def _match(left: list, right: list, admits) -> bool:
+def _match(left: list, right: list, admits: Callable[[object, object], bool]) -> bool:
     return _match_assignment(left, right, admits) is not None
 
 
-def _match_assignment(left: list, right: list, admits) -> dict[int, int] | None:
+def _match_assignment(
+    left: list, right: list, admits: Callable[[object, object], bool]
+) -> dict[int, int] | None:
     """Perfect matching of ``left`` items into ``right`` slots.
 
     ``admits(left_item, right_item)`` decides admissibility.  Returns

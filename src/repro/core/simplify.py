@@ -30,6 +30,7 @@ from collections.abc import Hashable
 from repro.core.diagram import Diagram
 from repro.core.problem import Problem
 from repro.core.round_elimination import speedup
+from repro.robustness.errors import SimplificationFailed
 
 
 def equivalent_label_classes(problem: Problem) -> list[frozenset]:
@@ -79,7 +80,7 @@ def remove_label(problem: Problem, label: Hashable) -> Problem:
     """
     remaining = [other for other in problem.alphabet if other != label]
     if not remaining:
-        raise ValueError("cannot remove the last label")
+        raise SimplificationFailed("cannot remove the last label")
     return Problem(
         remaining,
         problem.node_constraint.restrict_to(remaining),

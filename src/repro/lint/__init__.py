@@ -1,0 +1,34 @@
+"""``repro.lint`` — project-invariant static analysis (reprolint).
+
+A zero-dependency AST linter enforcing the conventions the engine's
+correctness story depends on: typed errors (RL001), determinism in
+engine code (RL002), picklable parallel dispatch (RL003), declared
+trace counters (RL004), ``with``-entered ambient contexts (RL005),
+provenance-after-persist checkpoint discipline (RL006), no stray
+prints (RL007), and a fully annotated public ``core``/``lowerbound``
+API (RL008).
+
+Run it as ``python -m repro.lint src tests tools benchmarks``; see
+:mod:`repro.lint.cli` for the exit-code convention and
+:mod:`repro.lint.rules` for the catalogue.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import FileReport, discover, lint_file, lint_paths
+from repro.lint.rules import RULES, FileContext, Rule, check_file
+from repro.lint.violations import Violation, is_suppressed, parse_suppressions
+
+__all__ = [
+    "FileContext",
+    "FileReport",
+    "Rule",
+    "RULES",
+    "Violation",
+    "check_file",
+    "discover",
+    "is_suppressed",
+    "lint_file",
+    "lint_paths",
+    "parse_suppressions",
+]

@@ -1,0 +1,10 @@
+"""Entry point: ``python -m repro.lint src tests tools benchmarks``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.lint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

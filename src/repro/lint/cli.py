@@ -1,0 +1,101 @@
+"""The ``python -m repro.lint`` command line.
+
+Exit-code convention (shared with ``tools/regen_golden.py`` and
+``tools/trace_report.py``):
+
+* ``0`` — the scanned tree is clean;
+* ``1`` — violations found (or, for the tools, drift detected);
+* ``2`` — usage error, or input that could not be read or parsed.
+
+This module deliberately prints: it *is* the script layer the RL007
+rule routes user-facing output to — the same carve-out tools/,
+examples/, and benchmarks/ get, stated here explicitly because the
+file lives inside the package.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.lint.engine import lint_paths
+from repro.lint.rules import RULES
+
+USAGE = """\
+usage: python -m repro.lint [--list-rules] PATH [PATH ...]
+
+Project-invariant static analysis for the round-elimination engine.
+Scans the given files and directories (the canonical invocation is
+`python -m repro.lint src tests tools benchmarks`) and reports every
+violation as `path:line: CODE message`.
+
+Suppress a finding with a trailing comment on its line:
+    # reprolint: disable=RL001 -- justification
+
+Exit status (unified across repro tooling):
+    0  clean
+    1  violations found
+    2  usage error or unreadable/unparseable input
+"""
+
+
+def list_rules() -> str:
+    """The rule catalogue as aligned ``CODE name summary`` lines."""
+    width = max(len(rule.name) for rule in RULES)
+    return "\n".join(
+        f"{rule.code}  {rule.name.ljust(width)}  {rule.summary}"
+        for rule in RULES
+    )
+
+
+def main(argv: list[str]) -> int:
+    paths: list[str] = []
+    for argument in argv:
+        if argument in ("-h", "--help"):
+            print(USAGE)  # reprolint: disable=RL007 -- the lint CLI front-end
+            return 0
+        if argument == "--list-rules":
+            print(list_rules())  # reprolint: disable=RL007 -- the lint CLI front-end
+            return 0
+        if argument.startswith("-"):
+            print(  # reprolint: disable=RL007 -- the lint CLI front-end
+                f"error: unknown option {argument}\n{USAGE}", file=sys.stderr
+            )
+            return 2
+        paths.append(argument)
+    if not paths:
+        print(  # reprolint: disable=RL007 -- the lint CLI front-end
+            f"error: no paths given\n{USAGE}", file=sys.stderr
+        )
+        return 2
+    reports, missing = lint_paths(paths)
+    for path in missing:
+        print(  # reprolint: disable=RL007 -- the lint CLI front-end
+            f"error: no such path: {path}", file=sys.stderr
+        )
+    if missing:
+        return 2
+    broken = [report for report in reports if report.error is not None]
+    for report in broken:
+        print(  # reprolint: disable=RL007 -- the lint CLI front-end
+            f"error: cannot lint {report.path}: {report.error}",
+            file=sys.stderr,
+        )
+    violations = [
+        violation for report in reports for violation in report.violations
+    ]
+    for violation in violations:
+        print(violation.render())  # reprolint: disable=RL007 -- the lint CLI front-end
+    if broken:
+        return 2
+    if violations:
+        print(  # reprolint: disable=RL007 -- the lint CLI front-end
+            f"reprolint: {len(violations)} violation(s) in "
+            f"{sum(1 for r in reports if r.violations)} file(s) "
+            f"({len(reports)} scanned)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+__all__ = ["main", "USAGE", "list_rules"]

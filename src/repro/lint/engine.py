@@ -1,0 +1,108 @@
+"""File discovery and the per-file lint pass.
+
+The engine walks the requested paths, parses every ``*.py`` file once,
+collects its ``# reprolint: disable=...`` comments, runs the in-scope
+rules from :mod:`repro.lint.rules`, and filters out suppressed
+findings.  Scope is derived from the file's path *parts*, so fixture
+trees that mirror the repository layout (``.../src/repro/core/...``)
+are linted exactly like the real one.
+
+Two directories are skipped during discovery:
+
+* ``lint_fixtures`` — the test corpus of deliberately violating files;
+* ``golden`` — JSON data, plus anything hidden or ``__pycache__``.
+
+Both can still be linted by naming a file inside them explicitly,
+which is how the fixture tests drive the engine.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+
+from repro.lint.rules import FileContext, check_file
+from repro.lint.violations import Violation, is_suppressed, parse_suppressions
+
+_SKIPPED_DIRS = ("lint_fixtures", "golden", "__pycache__")
+
+
+@dataclass(frozen=True)
+class FileReport:
+    """The outcome of linting one file."""
+
+    path: str
+    violations: tuple[Violation, ...]
+    error: str | None = None
+
+
+def discover(paths: list[str]) -> tuple[list[str], list[str]]:
+    """Expand files and directories into the python files to lint.
+
+    Returns ``(files, missing)`` where ``missing`` lists requested
+    paths that do not exist.  Directories are walked recursively in
+    sorted order (deterministic output); skipped-directory names and
+    hidden directories are pruned.
+    """
+    files: list[str] = []
+    missing: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+        elif os.path.isdir(path):
+            for root, directories, names in os.walk(path):
+                directories[:] = sorted(
+                    name
+                    for name in directories
+                    if name not in _SKIPPED_DIRS and not name.startswith(".")
+                )
+                files.extend(
+                    os.path.join(root, name)
+                    for name in sorted(names)
+                    if name.endswith(".py")
+                )
+        else:
+            missing.append(path)
+    return files, missing
+
+
+def lint_file(path: str) -> FileReport:
+    """Lint one file: parse, run in-scope rules, drop suppressions."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as error:
+        return FileReport(path=path, violations=(), error=str(error))
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return FileReport(
+            path=path, violations=(),
+            error=f"syntax error: {error.msg} (line {error.lineno})",
+        )
+    parts = tuple(os.path.normpath(path).replace(os.sep, "/").split("/"))
+    context = FileContext(path=path, parts=parts, tree=tree, source=source)
+    suppressions = parse_suppressions(source)
+    kept = tuple(
+        violation
+        for violation in sorted(
+            check_file(context), key=lambda v: (v.line, v.code)
+        )
+        if not is_suppressed(suppressions, violation.line, violation.code)
+    )
+    return FileReport(path=path, violations=kept)
+
+
+def lint_paths(paths: list[str]) -> tuple[list[FileReport], list[str]]:
+    """Lint every python file under ``paths``.
+
+    Returns ``(reports, missing_paths)``; reports come back in
+    discovery order, violation-free files included (their report
+    simply carries an empty tuple).
+    """
+    files, missing = discover(paths)
+    return [lint_file(path) for path in files], missing
+
+
+__all__ = ["FileReport", "discover", "lint_file", "lint_paths"]

@@ -1,0 +1,81 @@
+"""Violation records and ``# reprolint: disable=...`` suppressions.
+
+A violation pins one rule code to one physical line of one file.  The
+suppression syntax is a trailing comment on the flagged line::
+
+    risky_call()  # reprolint: disable=RL002 -- seeded, ordering-free
+
+Several codes may be disabled at once (``disable=RL001,RL007``) and
+``disable=all`` silences every rule for that line.  Everything after a
+``--`` separator is a free-form justification; the project convention
+(enforced by review, not by the tool) is that real-tree suppressions
+always carry one.
+"""
+
+from __future__ import annotations
+
+import re
+import tokenize
+from dataclasses import dataclass
+from io import StringIO
+
+#: Matches one suppression comment anywhere in a physical line's comment.
+_SUPPRESSION = re.compile(
+    r"#\s*reprolint:\s*disable=(?P<codes>[A-Za-z0-9, ]+?)(?:\s*--.*)?$"
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule finding: where, which rule, and how to fix it."""
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical one-line diagnostic: ``path:line: CODE message``."""
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Per-line suppressed rule codes, from ``# reprolint:`` comments.
+
+    Returns ``{line_number: {"RL001", ...}}``; the special entry
+    ``"all"`` suppresses every rule on that line.  Tokenizes rather
+    than regex-scanning raw lines so that ``#`` characters inside
+    string literals never read as comments.
+    """
+    suppressed: dict[int, frozenset[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(StringIO(source).readline)
+        comments = [
+            token for token in tokens if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError):  # unparseable tail
+        comments = []
+    for token in comments:
+        match = _SUPPRESSION.search(token.string)
+        if match is None:
+            continue
+        codes = frozenset(
+            code.strip().upper() if code.strip().lower() != "all" else "all"
+            for code in match.group("codes").split(",")
+            if code.strip()
+        )
+        if codes:
+            line = token.start[0]
+            suppressed[line] = suppressed.get(line, frozenset()) | codes
+    return suppressed
+
+
+def is_suppressed(
+    suppressions: dict[int, frozenset[str]], line: int, code: str
+) -> bool:
+    """Whether ``code`` is disabled on physical line ``line``."""
+    codes = suppressions.get(line)
+    return codes is not None and (code in codes or "all" in codes)
+
+
+__all__ = ["Violation", "parse_suppressions", "is_suppressed"]

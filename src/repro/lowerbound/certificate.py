@@ -34,6 +34,7 @@ weaker rather than silently wrong.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.algorithms.greedy import greedy_mis
@@ -381,7 +382,7 @@ def _lemma5_witness(delta: int, k: int) -> bool:
     return verify_lemma5(graph, mis, {}, k=k, a=max(delta // 2, 1)).ok
 
 
-def _safe(check) -> bool:
+def _safe(check: Callable[[], object]) -> bool:
     try:
         return bool(check())
     except (AssertionError, ValueError):

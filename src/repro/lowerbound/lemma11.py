@@ -17,11 +17,14 @@ from repro.core.relaxation import _match_assignment, find_upgrade_reduction
 from repro.problems.family import family_problem
 from repro.sim.graph import Graph
 from repro.sim.verifiers import VerificationResult, verify_lcl
+from repro.robustness.errors import InvalidProblem
 
 Labeling = dict[tuple[int, int], str]
 
 
-def verify_lemma11(delta: int, a: int, x: int, a_target: int, x_target: int):
+def verify_lemma11(
+    delta: int, a: int, x: int, a_target: int, x_target: int
+) -> dict[Configuration, Configuration]:
     """A per-configuration upgrade witness for Lemma 11's reduction.
 
     Requires ``a_target <= a`` and ``x_target >= x`` (the lemma's
@@ -30,7 +33,7 @@ def verify_lemma11(delta: int, a: int, x: int, a_target: int, x_target: int):
     ``AssertionError`` if — against the lemma — none exists.
     """
     if a_target > a or x_target < x:
-        raise ValueError(
+        raise InvalidProblem(
             "Lemma 11 needs a_target <= a and x_target >= x, got "
             f"a={a}->{a_target}, x={x}->{x_target}"
         )
@@ -129,7 +132,7 @@ def verify_lemma11_on_labeling(
         graph, source, labeling, skip_non_full_degree_nodes=not graph.is_regular()
     )
     if not before.ok:
-        raise ValueError(
+        raise InvalidProblem(
             "input is not a valid source solution: " + "; ".join(before.violations)
         )
     converted = convert_labeling_lemma11(

@@ -20,6 +20,7 @@ from repro.sim.verifiers import (
     verify_k_outdegree_dominating_set,
     verify_lcl,
 )
+from repro.robustness.errors import InvalidProblem
 
 Labeling = dict[tuple[int, int], str]
 
@@ -66,7 +67,7 @@ def labeling_from_kods(
                     pointer = port
                     break
             if pointer is None:
-                raise ValueError(
+                raise InvalidProblem(
                     f"node {node} is not dominated; the input is not a "
                     "dominating set"
                 )
@@ -89,7 +90,7 @@ def verify_lemma5(
     """
     kods = verify_k_outdegree_dominating_set(graph, selected, orientation, k)
     if not kods.ok:
-        raise ValueError(
+        raise InvalidProblem(
             "input is not a valid k-outdegree dominating set: "
             + "; ".join(kods.violations)
         )

@@ -22,6 +22,7 @@ from repro.core.diagram import Diagram
 from repro.core.problem import Problem
 from repro.core.round_elimination import R, RenamedProblem, rename_to_strings
 from repro.problems.family import family_problem
+from repro.robustness.errors import InvalidProblem
 
 #: The renaming table of Lemma 6 (right-closed sets of Fig. 4 -> letters).
 LEMMA6_RENAMING = {
@@ -60,7 +61,7 @@ FIGURE5_HASSE_EDGES = frozenset(
 
 def _check_lemma6_range(delta: int, a: int, x: int) -> None:
     if not x + 2 <= a <= delta:
-        raise ValueError(
+        raise InvalidProblem(
             f"Lemma 6 needs x + 2 <= a <= delta, got delta={delta}, a={a}, x={x}"
         )
 
@@ -124,7 +125,7 @@ def figure5_diagram(delta: int, a: int, x: int) -> Diagram:
 
 def _powered(token: str, exponent: int) -> str:
     if exponent < 0:
-        raise ValueError(f"negative exponent {exponent}")
+        raise InvalidProblem(f"negative exponent {exponent}")
     if exponent == 0:
         return ""
     return f"{token}^{exponent} "

@@ -101,7 +101,9 @@ def verify_lemma8_argument(delta: int, a: int, x: int) -> Lemma8Report:
     diagram = Diagram(problem.node_constraint, problem.alphabet)
     right_closed = diagram.right_closed_sets()
 
-    def closed_without(label: str, within: frozenset | None = None):
+    def closed_without(
+        label: str, within: frozenset | None = None
+    ) -> list[frozenset]:
         universe = within if within is not None else frozenset("XMOUABPQ")
         return [
             labels
@@ -207,7 +209,7 @@ def condensed_admits_counts(
     return _max_flow(capacity, source, sink) == total_required
 
 
-def _max_flow(capacity: dict[tuple, int], source, sink) -> int:
+def _max_flow(capacity: dict[tuple, int], source: tuple, sink: tuple) -> int:
     """Ford-Fulkerson with depth-first augmenting paths (tiny graphs)."""
     flow: dict[tuple, int] = {edge: 0 for edge in capacity}
     adjacency: dict = {}
@@ -215,12 +217,12 @@ def _max_flow(capacity: dict[tuple, int], source, sink) -> int:
         adjacency.setdefault(tail, set()).add(head)
         adjacency.setdefault(head, set()).add(tail)
 
-    def residual(tail, head) -> int:
+    def residual(tail: tuple, head: tuple) -> int:
         forward = capacity.get((tail, head), 0) - flow.get((tail, head), 0)
         backward = flow.get((head, tail), 0)
         return forward + backward
 
-    def push(tail, head, amount: int) -> None:
+    def push(tail: tuple, head: tuple, amount: int) -> None:
         backward = flow.get((head, tail), 0)
         cancel = min(backward, amount)
         if cancel:
@@ -229,7 +231,7 @@ def _max_flow(capacity: dict[tuple, int], source, sink) -> int:
         if amount:
             flow[(tail, head)] = flow.get((tail, head), 0) + amount
 
-    def augment(node, pushed: int, visited: set) -> int:
+    def augment(node: tuple, pushed: int, visited: set) -> int:
         if node == sink:
             return pushed
         visited.add(node)

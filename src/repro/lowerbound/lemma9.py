@@ -21,6 +21,7 @@ from collections import Counter
 from repro.problems.family import family_plus_problem, family_problem
 from repro.sim.graph import Graph
 from repro.sim.verifiers import VerificationResult, verify_lcl
+from repro.robustness.errors import InvalidProblem
 
 Labeling = dict[tuple[int, int], str]
 
@@ -32,7 +33,7 @@ def lemma9_target_a(a: int, x: int) -> int:
 
 def _check_lemma9_range(delta: int, a: int, x: int) -> None:
     if not 2 * x + 1 <= a <= delta:
-        raise ValueError(
+        raise InvalidProblem(
             f"Lemma 9 needs 2x + 1 <= a <= delta, got delta={delta}, a={a}, x={x}"
         )
 
@@ -50,7 +51,7 @@ def convert_plus_solution(
     """
     _check_lemma9_range(delta, a, x)
     if not graph.is_fully_colored():
-        raise ValueError("Lemma 9 needs the Delta-edge coloring input")
+        raise InvalidProblem("Lemma 9 needs the Delta-edge coloring input")
     new_a = lemma9_target_a(a, x)
     threshold = (a - 1) // 2  # low colors are 0 .. threshold-1
     converted: Labeling = dict(labeling)
@@ -86,7 +87,7 @@ def _convert_a_node(
         port for port in range(degree) if labeling[(node, port)] == "A"
     ]
     if len(surviving) < new_a:
-        raise ValueError(
+        raise InvalidProblem(
             f"node {node} retains {len(surviving)} owned edges < target {new_a}; "
             "the input labeling was not a valid Pi+ solution"
         )
@@ -111,7 +112,7 @@ def _convert_c_node(
             claimed.append(port)
         labeling[(node, port)] = "X"
     if len(claimed) < new_a:
-        raise ValueError(
+        raise InvalidProblem(
             f"node {node} can claim only {len(claimed)} low-color edges "
             f"< target {new_a}; the input labeling was not a valid Pi+ solution"
         )
@@ -132,7 +133,7 @@ def verify_lemma9(
     plus = family_plus_problem(delta, a, x)
     before = verify_lcl(graph, plus, labeling)
     if not before.ok:
-        raise ValueError(
+        raise InvalidProblem(
             "input is not a valid Pi+ solution: " + "; ".join(before.violations)
         )
     converted = convert_plus_solution(graph, labeling, delta, a, x)

@@ -27,6 +27,7 @@ from repro.problems.family import family_problem
 from repro.robustness import budget as _budget
 from repro.robustness.budget import Budget, governed
 from repro.robustness.checkpointing import CheckpointStore
+from repro.robustness.errors import InvalidProblem
 
 
 @dataclass(frozen=True)
@@ -88,9 +89,9 @@ def lemma13_chain(delta: int, x: int = 0) -> list[ChainStep]:
     round-elimination steps.
     """
     if delta < 1:
-        raise ValueError("delta must be positive")
+        raise InvalidProblem("delta must be positive")
     if x < 0:
-        raise ValueError("x must be non-negative")
+        raise InvalidProblem("x must be non-negative")
     chain: list[ChainStep] = []
     index = 0
     while True:
@@ -159,9 +160,9 @@ def run_chain(
     runs persist byte-identical state.
     """
     if delta < 1:
-        raise ValueError("delta must be positive")
+        raise InvalidProblem("delta must be positive")
     if x < 0:
-        raise ValueError("x must be non-negative")
+        raise InvalidProblem("x must be non-negative")
     stage = _chain_stage_name(delta, x)
     chain: list[ChainStep] = []
     resumed_from: int | None = None

@@ -26,7 +26,7 @@ from repro.sim.verifiers import verify_lcl
 class UniformStrategy:
     """Uniform over allowed node configurations and port assignments."""
 
-    def __init__(self, problem: Problem):
+    def __init__(self, problem: Problem) -> None:
         self.problem = problem
         self.configurations = sorted(
             problem.node_constraint.configurations, key=lambda c: c.render()
@@ -50,7 +50,7 @@ class GreedyStrategy:
     dangerous port with constant probability.)
     """
 
-    def __init__(self, problem: Problem):
+    def __init__(self, problem: Problem) -> None:
         self.problem = problem
         self_compatible = problem.self_compatible_labels()
         self.best = max(
@@ -86,7 +86,7 @@ class ZeroRoundExperiment:
 
 def monte_carlo_zero_round_failure(
     problem: Problem,
-    strategy=None,
+    strategy: UniformStrategy | AdversarialStrategy | None = None,
     trials: int = 200,
     seed: int = 0,
 ) -> ZeroRoundExperiment:

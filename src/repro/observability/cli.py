@@ -12,6 +12,7 @@ run still leaves its evidence behind.
 from __future__ import annotations
 
 import sys
+from collections.abc import Iterator
 from contextlib import contextmanager
 
 from repro.observability.metrics import render_phase_table
@@ -19,7 +20,9 @@ from repro.observability.trace import Tracer, tracing
 
 
 @contextmanager
-def cli_tracing(trace_path: str | None = None, metrics: bool = False):
+def cli_tracing(
+    trace_path: str | None = None, metrics: bool = False
+) -> Iterator[Tracer | None]:
     """Trace the enclosed block per the CLI flags.
 
     With neither flag set this is a no-op (no tracer installed).
@@ -38,9 +41,9 @@ def cli_tracing(trace_path: str | None = None, metrics: bool = False):
     finally:
         if trace_path is not None:
             tracer.write(trace_path)
-            print(f"trace written to {trace_path}", file=sys.stderr)
+            print(f"trace written to {trace_path}", file=sys.stderr)  # reprolint: disable=RL007 -- shared --trace/--metrics front-end for the example CLIs
         if metrics:
-            print(render_phase_table(tracer.finish()))
+            print(render_phase_table(tracer.finish()))  # reprolint: disable=RL007 -- shared --trace/--metrics front-end for the example CLIs
 
 
 __all__ = ["cli_tracing"]

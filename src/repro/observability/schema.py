@@ -31,6 +31,10 @@ exactly that, while timing/cache counters (``*.cache.hit``, ``mp.*``,
 
 from __future__ import annotations
 
+import os
+
+from repro.robustness.errors import InvalidTrace
+
 SCHEMA_VERSION = 1
 
 #: Engine-independent counters: both engines must report equal values.
@@ -68,12 +72,12 @@ _SPAN_STATUSES = ("ok", "error")
 def validate_record(record: dict) -> None:
     """Raise ``ValueError`` describing the first schema violation."""
     if not isinstance(record, dict):
-        raise ValueError(f"record is not an object: {record!r}")
+        raise InvalidTrace(f"record is not an object: {record!r}")
     kind = record.get("type")
     if kind == "meta":
         _require(record, "schema", int)
         if record["schema"] != SCHEMA_VERSION:
-            raise ValueError(
+            raise InvalidTrace(
                 f"unsupported schema version {record['schema']!r} "
                 f"(supported: {SCHEMA_VERSION})"
             )
@@ -90,18 +94,18 @@ def validate_record(record: dict) -> None:
         _require(record, "start_s", (int, float))
         _require(record, "duration_s", (int, float))
         if record["duration_s"] < 0:
-            raise ValueError(f"span {record['id']} has negative duration")
+            raise InvalidTrace(f"span {record['id']} has negative duration")
         if record.get("status") not in _SPAN_STATUSES:
-            raise ValueError(
+            raise InvalidTrace(
                 f"span {record['id']} has status {record.get('status')!r}"
             )
         _require(record, "attrs", dict)
         _require(record, "counters", dict)
         for counter, value in record["counters"].items():
             if not isinstance(counter, str):
-                raise ValueError(f"counter key {counter!r} is not a string")
+                raise InvalidTrace(f"counter key {counter!r} is not a string")
             if not isinstance(value, int) or value < 0:
-                raise ValueError(
+                raise InvalidTrace(
                     f"counter {counter!r} of span {record['id']} must be a "
                     f"non-negative integer, got {value!r}"
                 )
@@ -111,16 +115,18 @@ def validate_record(record: dict) -> None:
         _require(record, "at_s", (int, float))
         _require(record, "attrs", dict)
     else:
-        raise ValueError(f"unknown record type {kind!r}")
+        raise InvalidTrace(f"unknown record type {kind!r}")
 
 
-def _require(record: dict, key: str, types) -> None:
+def _require(
+    record: dict, key: str, types: type | tuple[type, ...]
+) -> None:
     if key not in record:
-        raise ValueError(
+        raise InvalidTrace(
             f"{record.get('type')} record is missing {key!r}: {record!r}"
         )
     if not isinstance(record[key], types) or isinstance(record[key], bool):
-        raise ValueError(
+        raise InvalidTrace(
             f"{record.get('type')}.{key} has wrong type: {record[key]!r}"
         )
 
@@ -134,34 +140,34 @@ def validate_trace(records: list[dict]) -> None:
     ``meta`` match.
     """
     if not records:
-        raise ValueError("empty trace")
+        raise InvalidTrace("empty trace")
     for record in records:
         validate_record(record)
     meta_records = [r for r in records if r["type"] == "meta"]
     if len(meta_records) != 1:
-        raise ValueError(f"expected exactly one meta record, got {len(meta_records)}")
+        raise InvalidTrace(f"expected exactly one meta record, got {len(meta_records)}")
     if records[-1]["type"] != "meta":
-        raise ValueError("meta record must be the last record")
+        raise InvalidTrace("meta record must be the last record")
     meta = meta_records[0]
     spans = [r for r in records if r["type"] == "span"]
     events = [r for r in records if r["type"] == "event"]
     span_ids = [r["id"] for r in spans]
     if len(span_ids) != len(set(span_ids)):
-        raise ValueError("duplicate span ids")
+        raise InvalidTrace("duplicate span ids")
     known = set(span_ids)
     for record in spans:
         if record["parent"] is not None and record["parent"] not in known:
-            raise ValueError(
+            raise InvalidTrace(
                 f"span {record['id']} has unknown parent {record['parent']}"
             )
     for record in events:
         if record["span"] not in known:
-            raise ValueError(
+            raise InvalidTrace(
                 f"event {record['name']!r} references unknown span "
                 f"{record['span']}"
             )
     if meta["spans"] != len(spans) or meta["events"] != len(events):
-        raise ValueError(
+        raise InvalidTrace(
             f"meta counts (spans={meta['spans']}, events={meta['events']}) "
             f"disagree with the file (spans={len(spans)}, events={len(events)})"
         )
@@ -178,11 +184,11 @@ def parse_trace_lines(text: str) -> list[dict]:
         try:
             records.append(json.loads(line))
         except json.JSONDecodeError as error:
-            raise ValueError(f"line {line_number} is not JSON: {error}") from error
+            raise InvalidTrace(f"line {line_number} is not JSON: {error}") from error
     return records
 
 
-def load_trace(path) -> list[dict]:
+def load_trace(path: str | os.PathLike) -> list[dict]:
     """Read, parse, and validate a trace file."""
     with open(path, encoding="utf-8") as handle:
         records = parse_trace_lines(handle.read())

@@ -26,11 +26,14 @@ under its currently open span (see :mod:`repro.core.kernel.parallel`).
 from __future__ import annotations
 
 import json
+import os
 import time
+from collections.abc import Iterator
 from contextlib import contextmanager
 from contextvars import ContextVar
 
 from repro.observability.schema import SCHEMA_VERSION
+from repro.robustness.errors import EngineMisuse
 
 
 class _NullSpan:
@@ -41,13 +44,13 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, *exc_info) -> bool:
+    def __exit__(self, *exc_info: object) -> bool:
         return False
 
     def add(self, counter: str, amount: int = 1) -> None:
         pass
 
-    def set_attr(self, key: str, value) -> None:
+    def set_attr(self, key: str, value: object) -> None:
         pass
 
 
@@ -68,7 +71,7 @@ class SpanHandle:
     )
 
     def __init__(self, tracer: "Tracer", span_id: int, parent_id: int | None,
-                 name: str, attrs: dict):
+                 name: str, attrs: dict) -> None:
         self.tracer = tracer
         self.span_id = span_id
         self.parent_id = parent_id
@@ -80,20 +83,25 @@ class SpanHandle:
     def add(self, counter: str, amount: int = 1) -> None:
         """Increment a counter; amounts must be non-negative (monotone)."""
         if amount < 0:
-            raise ValueError(
+            raise EngineMisuse(
                 f"counter {counter!r} increment must be non-negative, "
                 f"got {amount}"
             )
         self.counters[counter] = self.counters.get(counter, 0) + amount
 
-    def set_attr(self, key: str, value) -> None:
+    def set_attr(self, key: str, value: object) -> None:
         """Set (or overwrite) one attribute of the open span."""
         self.attrs[key] = value
 
     def __enter__(self) -> "SpanHandle":
         return self
 
-    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc_value: BaseException | None,
+        traceback: object,
+    ) -> bool:
         self.tracer._close_span(
             self, "error" if exc_type is not None else "ok",
             error=None if exc_value is None else str(exc_value),
@@ -112,7 +120,7 @@ class Tracer:
     and :meth:`write` saves it.
     """
 
-    def __init__(self, *, trace_checkpoints: bool = False):
+    def __init__(self, *, trace_checkpoints: bool = False) -> None:
         #: Emit one event per cooperative budget checkpoint.  Default
         #: off: checkpoints fire per DFS node and would dominate the
         #: trace; the aggregate lands in the ``budget.checkpoints``
@@ -135,7 +143,9 @@ class Tracer:
         self._stack.append(handle)
         return handle
 
-    def _close_span(self, handle: SpanHandle, status: str, error=None) -> None:
+    def _close_span(
+        self, handle: SpanHandle, status: str, error: str | None = None
+    ) -> None:
         # Close any children left open (an exception unwound past them).
         while self._stack and self._stack[-1] is not handle:
             inner = self._stack.pop()
@@ -144,7 +154,9 @@ class Tracer:
             self._stack.pop()
         self.records.append(self._span_record(handle, status, error))
 
-    def _span_record(self, handle: SpanHandle, status: str, error) -> dict:
+    def _span_record(
+        self, handle: SpanHandle, status: str, error: str | None
+    ) -> dict:
         ended = time.perf_counter()
         record = {
             "type": "span",
@@ -161,7 +173,7 @@ class Tracer:
             record["error"] = error
         return record
 
-    def span(self, name: str, **attrs) -> SpanHandle:
+    def span(self, name: str, **attrs: object) -> SpanHandle:
         """Open a child of the currently innermost span."""
         return self._open_span(name, attrs)
 
@@ -174,7 +186,7 @@ class Tracer:
     def add(self, counter: str, amount: int = 1) -> None:
         self.current_span().add(counter, amount)
 
-    def event(self, name: str, **attrs) -> None:
+    def event(self, name: str, **attrs: object) -> None:
         self.records.append({
             "type": "event",
             "span": self.current_span().span_id,
@@ -244,7 +256,7 @@ class Tracer:
             for record in self.finish()
         ) + "\n"
 
-    def write(self, path) -> None:
+    def write(self, path: str | os.PathLike) -> None:
         """Save the finished trace to ``path`` as JSON lines."""
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.to_jsonl())
@@ -280,7 +292,7 @@ def tracing_enabled() -> bool:
 
 
 @contextmanager
-def tracing(tracer: Tracer | None):
+def tracing(tracer: Tracer | None) -> Iterator[Tracer | None]:
     """Install ``tracer`` as the ambient tracer for the enclosed block.
 
     ``tracing(None)`` is a no-op so optional tracers pass straight
@@ -302,7 +314,7 @@ def tracing(tracer: Tracer | None):
 # Guarded instrumentation helpers (no-ops when tracing is disabled)
 # ---------------------------------------------------------------------------
 
-def span(name: str, **attrs):
+def span(name: str, **attrs: object) -> SpanHandle | _NullSpan:
     """Open a span on the ambient tracer — or the shared null span.
 
     Usage: ``with _trace.span("op.R", engine="kernel") as sp: ...``.
@@ -323,14 +335,14 @@ def add(counter: str, amount: int = 1) -> None:
         tracer.add(counter, amount)
 
 
-def event(name: str, **attrs) -> None:
+def event(name: str, **attrs: object) -> None:
     """Record an event on the current span (no-op when disabled)."""
     tracer = _ACTIVE.get()
     if tracer is not None:
         tracer.event(name, **attrs)
 
 
-def set_attr(key: str, value) -> None:
+def set_attr(key: str, value: object) -> None:
     """Set an attribute on the current span (no-op when disabled)."""
     tracer = _ACTIVE.get()
     if tracer is not None:

@@ -17,6 +17,7 @@ import itertools
 from repro.core.constraints import Constraint
 from repro.core.configurations import Configuration
 from repro.core.problem import Problem
+from repro.robustness.errors import InvalidProblem
 
 
 def sinkless_orientation_problem(delta: int) -> Problem:
@@ -28,7 +29,7 @@ def sinkless_orientation_problem(delta: int) -> Problem:
     al. [14] and a fixed point of one round-elimination step.
     """
     if delta < 2:
-        raise ValueError("sinkless orientation needs delta >= 2")
+        raise InvalidProblem("sinkless orientation needs delta >= 2")
     return Problem.from_text(
         node_lines=[f"O [IO]^{delta - 1}"],
         edge_lines=["O I"],
@@ -43,7 +44,7 @@ def coloring_problem(delta: int, colors: int) -> Problem:
     must see two distinct colors.
     """
     if colors < 2:
-        raise ValueError("need at least 2 colors")
+        raise InvalidProblem("need at least 2 colors")
     names = [f"c{i}" for i in range(colors)]
     node_constraint = Constraint(
         Configuration([name] * delta) for name in names
@@ -63,7 +64,7 @@ def perfect_matching_problem(delta: int) -> Problem:
     ``M`` on both sides and unmatched edges ``O`` on both sides.
     """
     if delta < 1:
-        raise ValueError("perfect matching needs delta >= 1")
+        raise InvalidProblem("perfect matching needs delta >= 1")
     return Problem.from_text(
         node_lines=[f"M O^{delta - 1}"],
         edge_lines=["M M", "O O"],

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from repro.core.labels import Alphabet
 from repro.core.problem import Problem
+from repro.robustness.errors import InvalidProblem
 
 #: The label set of every Pi_Delta(a, x) (Section 3.1).
 FAMILY_LABELS = ("M", "P", "O", "A", "X")
@@ -50,11 +51,11 @@ PI_REL_RENAMING = {
 
 def _check_parameters(delta: int, a: int, x: int) -> None:
     if delta < 1:
-        raise ValueError(f"delta must be positive, got {delta}")
+        raise InvalidProblem(f"delta must be positive, got {delta}")
     if not 0 <= a <= delta:
-        raise ValueError(f"need 0 <= a <= delta, got a={a}, delta={delta}")
+        raise InvalidProblem(f"need 0 <= a <= delta, got a={a}, delta={delta}")
     if not 0 <= x <= delta:
-        raise ValueError(f"need 0 <= x <= delta, got x={x}, delta={delta}")
+        raise InvalidProblem(f"need 0 <= x <= delta, got x={x}, delta={delta}")
 
 
 def family_problem(delta: int, a: int, x: int) -> Problem:
@@ -97,9 +98,9 @@ def family_plus_problem(delta: int, a: int, x: int) -> Problem:
     """
     _check_parameters(delta, a, x)
     if a < x + 2:
-        raise ValueError(f"Lemma 8 needs a >= x + 2, got a={a}, x={x}")
+        raise InvalidProblem(f"Lemma 8 needs a >= x + 2, got a={a}, x={x}")
     if x + 1 > delta:
-        raise ValueError(f"need x + 1 <= delta, got x={x}, delta={delta}")
+        raise InvalidProblem(f"need x + 1 <= delta, got x={x}, delta={delta}")
     node_lines = [
         _power("M", delta - x - 1) + _power("X", x + 1),
         _power("C", delta - x) + _power("X", x),
@@ -142,7 +143,7 @@ def pi_rel_problem(delta: int, a: int, x: int) -> Problem:
 
 def _power(label: str, exponent: int) -> str:
     if exponent < 0:
-        raise ValueError(f"negative exponent for {label}: {exponent}")
+        raise InvalidProblem(f"negative exponent for {label}: {exponent}")
     if exponent == 0:
         return ""
     return f"{label}^{exponent} "

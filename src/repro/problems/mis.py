@@ -11,6 +11,7 @@ constraint forbids ``MM`` (independence), ``PP`` and ``PO``
 from __future__ import annotations
 
 from repro.core.problem import Problem
+from repro.robustness.errors import InvalidProblem
 
 
 def mis_problem(delta: int) -> Problem:
@@ -20,7 +21,7 @@ def mis_problem(delta: int) -> Problem:
     Edge constraint: ``M [PO]`` and ``OO``.
     """
     if delta < 2:
-        raise ValueError("MIS in this formalism needs delta >= 2")
+        raise InvalidProblem("MIS in this formalism needs delta >= 2")
     return Problem.from_text(
         node_lines=[f"M^{delta}", f"P O^{delta - 1}"],
         edge_lines=["M [PO]", "O O"],

@@ -22,31 +22,38 @@ explicit defenses.  This package provides them:
     merging, label removal — the Lemma 9 motivation) and record every
     rung as auditable provenance.
 
-``errors`` and ``budget`` import nothing from the engine and are safe
-to import from anywhere in ``repro.core``; ``checkpointing`` and
-``degradation`` sit above the core and are loaded lazily here to keep
-the layering acyclic.
+``errors`` imports nothing at all and is safe to import from anywhere
+— including :mod:`repro.observability.schema`, which sits *below*
+``budget`` (budget emits trace counters).  Everything except ``errors``
+is therefore loaded lazily here: eagerly importing ``budget`` from this
+package initializer would close the cycle
+``observability.schema -> robustness -> budget -> observability.trace``.
 """
 
-from repro.robustness.budget import (
-    Budget,
-    check_alphabet,
-    check_chain_step,
-    check_configurations,
-    checkpoint,
-    current_budget,
-    governed,
-)
 from repro.robustness.errors import (
     AlphabetExplosion,
     BudgetExceeded,
     CheckpointCorrupt,
+    EngineMisuse,
+    InvalidGraph,
     InvalidProblem,
+    InvalidTrace,
     ReproError,
+    RetryExhausted,
     SimplificationFailed,
 )
 
 _LAZY = {
+    "Budget": ("repro.robustness.budget", "Budget"),
+    "governed": ("repro.robustness.budget", "governed"),
+    "current_budget": ("repro.robustness.budget", "current_budget"),
+    "checkpoint": ("repro.robustness.budget", "checkpoint"),
+    "check_alphabet": ("repro.robustness.budget", "check_alphabet"),
+    "check_configurations": (
+        "repro.robustness.budget",
+        "check_configurations",
+    ),
+    "check_chain_step": ("repro.robustness.budget", "check_chain_step"),
     "CheckpointStore": ("repro.robustness.checkpointing", "CheckpointStore"),
     "DegradationEvent": ("repro.robustness.degradation", "DegradationEvent"),
     "GovernedSpeedup": ("repro.robustness.degradation", "GovernedSpeedup"),
@@ -60,7 +67,7 @@ _LAZY = {
 }
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     try:
         module_name, attribute = _LAZY[name]
     except KeyError:
@@ -79,12 +86,9 @@ __all__ = [
     "BudgetExceeded",
     "AlphabetExplosion",
     "CheckpointCorrupt",
-    "Budget",
-    "governed",
-    "current_budget",
-    "checkpoint",
-    "check_alphabet",
-    "check_configurations",
-    "check_chain_step",
+    "EngineMisuse",
+    "InvalidGraph",
+    "InvalidTrace",
+    "RetryExhausted",
     *sorted(_LAZY),
 ]

@@ -26,7 +26,7 @@ trace.
 from __future__ import annotations
 
 import time
-from collections.abc import Callable
+from collections.abc import Callable, Iterator
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field
@@ -84,7 +84,7 @@ class Budget:
             return 0.0
         return time.monotonic() - self._started_at
 
-    def checkpoint(self, **context) -> None:
+    def checkpoint(self, **context: object) -> None:
         """One cooperative yield point inside a hot loop.
 
         Fires the ``probe`` (fault injection), then enforces the wall
@@ -117,7 +117,7 @@ class Budget:
                     **context,
                 )
 
-    def check_alphabet(self, size: int, **context) -> None:
+    def check_alphabet(self, size: int, **context: object) -> None:
         """Checkpoint plus the alphabet-size limit."""
         self.checkpoint(alphabet_size=size, **context)
         if self.max_alphabet is not None and size > self.max_alphabet:
@@ -132,7 +132,7 @@ class Budget:
                 **context,
             )
 
-    def check_configurations(self, count: int, **context) -> None:
+    def check_configurations(self, count: int, **context: object) -> None:
         """Checkpoint plus the intermediate-configuration limit."""
         self.checkpoint(configurations=count, **context)
         if self.max_configurations is not None and count > self.max_configurations:
@@ -148,7 +148,7 @@ class Budget:
                 **context,
             )
 
-    def check_chain_step(self, index: int, **context) -> None:
+    def check_chain_step(self, index: int, **context: object) -> None:
         """Checkpoint plus the chain-length limit."""
         self.checkpoint(step=index, **context)
         if self.max_chain_steps is not None and index >= self.max_chain_steps:
@@ -175,7 +175,7 @@ def current_budget() -> Budget | None:
 
 
 @contextmanager
-def governed(budget: Budget | None):
+def governed(budget: Budget | None) -> Iterator[Budget | None]:
     """Install ``budget`` as the ambient budget for the enclosed block.
 
     ``governed(None)`` is a no-op, so call sites can pass an optional
@@ -194,28 +194,28 @@ def governed(budget: Budget | None):
         _ACTIVE.reset(token)
 
 
-def checkpoint(**context) -> None:
+def checkpoint(**context: object) -> None:
     """Cooperative checkpoint against the ambient budget (if any)."""
     budget = _ACTIVE.get()
     if budget is not None:
         budget.checkpoint(**context)
 
 
-def check_alphabet(size: int, **context) -> None:
+def check_alphabet(size: int, **context: object) -> None:
     """Ambient-budget alphabet check (no-op without a budget)."""
     budget = _ACTIVE.get()
     if budget is not None:
         budget.check_alphabet(size, **context)
 
 
-def check_configurations(count: int, **context) -> None:
+def check_configurations(count: int, **context: object) -> None:
     """Ambient-budget configuration-count check (no-op without one)."""
     budget = _ACTIVE.get()
     if budget is not None:
         budget.check_configurations(count, **context)
 
 
-def check_chain_step(index: int, **context) -> None:
+def check_chain_step(index: int, **context: object) -> None:
     """Ambient-budget chain-step check (no-op without a budget)."""
     budget = _ACTIVE.get()
     if budget is not None:

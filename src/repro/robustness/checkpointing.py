@@ -30,7 +30,7 @@ from repro.robustness.errors import CheckpointCorrupt
 class CheckpointStore:
     """A directory of named, integrity-sealed JSON checkpoint stages."""
 
-    def __init__(self, directory):
+    def __init__(self, directory: str | Path) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
 
@@ -43,7 +43,7 @@ class CheckpointStore:
         write_json_checkpoint(self.path_for(stage), payload)
         _trace.event("checkpoint.save", stage=stage)
 
-    def load(self, stage: str):
+    def load(self, stage: str) -> object | None:
         """The payload of ``stage``, or ``None`` when absent.
 
         Raises :class:`CheckpointCorrupt` when the file exists but
@@ -57,7 +57,9 @@ class CheckpointStore:
         _trace.event("checkpoint.load", stage=stage, found=True)
         return payload
 
-    def load_or_discard(self, stage: str):
+    def load_or_discard(
+        self, stage: str
+    ) -> tuple[object | None, CheckpointCorrupt | None]:
         """Like :meth:`load`, but a corrupt file is deleted and reported.
 
         Returns ``(payload_or_None, corruption_error_or_None)`` so the

@@ -27,6 +27,7 @@ The ladder, weakest medicine first:
 
 from __future__ import annotations
 
+from collections.abc import Hashable
 from dataclasses import dataclass
 
 from repro.core.labels import render_label
@@ -139,7 +140,7 @@ def shrink_once(problem: Problem, step: int = 0) -> tuple[Problem, DegradationEv
     if before > 1:
         # Lossy fallback: drop the label used by the fewest
         # configurations; ties broken by label name for determinism.
-        def usage(label) -> tuple:
+        def usage(label: Hashable) -> tuple:
             count = len(
                 problem.node_constraint.configurations_containing(label)
             ) + len(problem.edge_constraint.configurations_containing(label))

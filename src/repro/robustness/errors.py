@@ -33,10 +33,24 @@ working:
   from scratch", never as data.
 * :class:`EngineMisuse` (also a ``ValueError``) — the caller asked for
   an engine flag combination that does not exist, such as parallel
-  workers on the reference engine.
+  workers on the reference engine, or otherwise passed arguments no
+  engine configuration can satisfy.
+* :class:`InvalidGraph` (also a ``ValueError``) — a simulator-side
+  input is malformed: a graph with self-loops or broken port maps, a
+  non-tree where a tree is required, or generator parameters that no
+  graph realizes.
+* :class:`InvalidTrace` (also a ``ValueError``) — a trace file or
+  record violates the versioned JSON-lines schema of
+  :mod:`repro.observability.schema`.
+* :class:`RetryExhausted` (a :class:`BudgetExceeded`, hence also a
+  ``RuntimeError``) — a bounded retry or round loop ran out of
+  attempts: the configuration-model generator found no simple graph,
+  or a simulated algorithm did not halt within ``max_rounds``.
 """
 
 from __future__ import annotations
+
+from typing import Any
 
 
 class ReproError(Exception):
@@ -48,7 +62,7 @@ class ReproError(Exception):
             elapsed, ...) for programmatic callers and the CLI.
     """
 
-    def __init__(self, message: str = "", **context):
+    def __init__(self, message: str = "", **context: Any) -> None:
         self.message = message
         self.context = dict(context)
         rendered = message
@@ -84,6 +98,18 @@ class EngineMisuse(ReproError, ValueError):
     """An invalid engine flag combination was requested by the caller."""
 
 
+class InvalidGraph(ReproError, ValueError):
+    """A simulator input graph, labeling, or generator request is malformed."""
+
+
+class InvalidTrace(ReproError, ValueError):
+    """A trace record or file violates the JSON-lines trace schema."""
+
+
+class RetryExhausted(BudgetExceeded):
+    """A bounded retry or round loop ran out of attempts."""
+
+
 __all__ = [
     "ReproError",
     "InvalidProblem",
@@ -92,4 +118,7 @@ __all__ = [
     "AlphabetExplosion",
     "CheckpointCorrupt",
     "EngineMisuse",
+    "InvalidGraph",
+    "InvalidTrace",
+    "RetryExhausted",
 ]

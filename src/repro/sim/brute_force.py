@@ -42,7 +42,7 @@ def class_output_options(problem: Problem, degree: int) -> list[tuple]:
     options: set[tuple] = set()
     if degree == problem.delta:
         for configuration in problem.node_constraint.configurations:
-            for order in set(itertools.permutations(configuration.items)):
+            for order in set(itertools.permutations(configuration.items)):  # reprolint: disable=RL002 -- dedup only; options is a set and the return is sorted(options)
                 options.add(order)
     else:
         labels = sorted(problem.alphabet, key=str)

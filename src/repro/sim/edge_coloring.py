@@ -11,6 +11,7 @@ producing exactly the instances of Lemmas 12 and 15.
 from __future__ import annotations
 
 from repro.sim.graph import Graph
+from repro.robustness.errors import InvalidGraph
 
 
 def tree_edge_coloring(graph: Graph, colors: int | None = None) -> Graph:
@@ -21,10 +22,10 @@ def tree_edge_coloring(graph: Graph, colors: int | None = None) -> Graph:
     parent edge, round-robin.  Mutates and returns ``graph``.
     """
     if not graph.is_tree():
-        raise ValueError("tree_edge_coloring needs a tree")
+        raise InvalidGraph("tree_edge_coloring needs a tree")
     palette = colors if colors is not None else max(graph.max_degree(), 1)
     if palette < graph.max_degree():
-        raise ValueError(
+        raise InvalidGraph(
             f"{palette} colors cannot properly color a tree of max degree "
             f"{graph.max_degree()}"
         )
@@ -85,7 +86,7 @@ def ports_from_edge_coloring(graph: Graph) -> Graph:
     assignment of Lemma 12.
     """
     if not is_proper_edge_coloring(graph):
-        raise ValueError("needs a proper edge coloring")
+        raise InvalidGraph("needs a proper edge coloring")
     port_maps: list[dict[int, int]] = []
     for node in range(graph.n):
         degree = graph.degree(node)
@@ -93,7 +94,7 @@ def ports_from_edge_coloring(graph: Graph) -> Graph:
             port: graph.color_at(node, port) for port in range(degree)
         }
         if set(mapping.values()) != set(range(degree)):
-            raise ValueError(
+            raise InvalidGraph(
                 f"node {node} sees colors {sorted(set(mapping.values()))}, "
                 f"expected exactly 0..{degree - 1}"
             )

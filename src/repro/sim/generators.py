@@ -14,6 +14,7 @@ from __future__ import annotations
 import random
 
 from repro.sim.graph import Graph
+from repro.robustness.errors import InvalidGraph, RetryExhausted
 
 
 def path_graph(n: int) -> Graph:
@@ -24,7 +25,7 @@ def path_graph(n: int) -> Graph:
 def cycle_graph(n: int) -> Graph:
     """The cycle on ``n >= 3`` nodes."""
     if n < 3:
-        raise ValueError("a cycle needs at least 3 nodes")
+        raise InvalidGraph("a cycle needs at least 3 nodes")
     edges = [(i, (i + 1) % n) for i in range(n)]
     return Graph.from_edges(n, edges)
 
@@ -32,7 +33,7 @@ def cycle_graph(n: int) -> Graph:
 def star_graph(leaves: int) -> Graph:
     """A star: node 0 joined to ``leaves`` leaves."""
     if leaves < 1:
-        raise ValueError("a star needs at least one leaf")
+        raise InvalidGraph("a star needs at least one leaf")
     return Graph.from_edges(leaves + 1, [(0, i) for i in range(1, leaves + 1)])
 
 
@@ -45,9 +46,9 @@ def truncated_regular_tree(delta: int, radius: int) -> Graph:
     ``radius = 0`` this is a single node.
     """
     if delta < 2:
-        raise ValueError("need delta >= 2")
+        raise InvalidGraph("need delta >= 2")
     if radius < 0:
-        raise ValueError("radius must be non-negative")
+        raise InvalidGraph("radius must be non-negative")
     edges: list[tuple[int, int]] = []
     next_node = 1
     frontier = [0]
@@ -69,7 +70,7 @@ def truncated_regular_tree(delta: int, radius: int) -> Graph:
 def random_tree(n: int, rng: random.Random) -> Graph:
     """A uniformly random labeled tree on ``n`` nodes (Pruefer decode)."""
     if n < 1:
-        raise ValueError("need at least one node")
+        raise InvalidGraph("need at least one node")
     if n == 1:
         return Graph(1)
     if n == 2:
@@ -106,9 +107,9 @@ def random_tree_bounded_degree(n: int, delta: int, rng: random.Random) -> Graph:
     trees, but a natural workload for the algorithm experiments.
     """
     if delta < 2:
-        raise ValueError("need delta >= 2")
+        raise InvalidGraph("need delta >= 2")
     if n < 1:
-        raise ValueError("need at least one node")
+        raise InvalidGraph("need at least one node")
     graph = Graph(n)
     available = [0] if n > 1 else []
     degree = [0] * n
@@ -122,7 +123,7 @@ def random_tree_bounded_degree(n: int, delta: int, rng: random.Random) -> Graph:
         if degree[node] < delta:
             available.append(node)
         if not available:
-            raise ValueError(f"cannot fit {n} nodes with max degree {delta}")
+            raise InvalidGraph(f"cannot fit {n} nodes with max degree {delta}")
     return graph
 
 
@@ -135,7 +136,7 @@ def torus_grid(rows: int, columns: int) -> Graph:
     simulator experiments.
     """
     if rows < 3 or columns < 3:
-        raise ValueError("torus needs both dimensions >= 3")
+        raise InvalidGraph("torus needs both dimensions >= 3")
     graph = Graph(rows * columns)
 
     def index(row: int, column: int) -> int:
@@ -163,9 +164,9 @@ def random_regular_graph(n: int, delta: int, rng: random.Random,
     Theorem 3's hypothesis is checked explicitly by the experiments.
     """
     if n * delta % 2:
-        raise ValueError("n * delta must be even")
+        raise InvalidGraph("n * delta must be even")
     if delta >= n:
-        raise ValueError("need delta < n")
+        raise InvalidGraph("need delta < n")
     for _ in range(max_attempts):
         stubs = [node for node in range(n) for _ in range(delta)]
         rng.shuffle(stubs)
@@ -182,7 +183,7 @@ def random_regular_graph(n: int, delta: int, rng: random.Random,
             seen.add(key)
         if ok:
             return Graph.from_edges(n, pairs)
-    raise RuntimeError(
+    raise RetryExhausted(
         f"no simple {delta}-regular graph found in {max_attempts} attempts"
     )
 
@@ -198,7 +199,7 @@ def complete_bipartite_graph(delta: int) -> Graph:
     solutions that actually use the A and C configurations.
     """
     if delta < 1:
-        raise ValueError("need delta >= 1")
+        raise InvalidGraph("need delta >= 1")
     graph = Graph(2 * delta)
     for color in range(delta):
         for i in range(delta):
@@ -218,7 +219,7 @@ def colored_port_cayley_graph(delta: int) -> Graph:
     sees identical views everywhere, even given the coloring.
     """
     if delta < 1:
-        raise ValueError("need delta >= 1")
+        raise InvalidGraph("need delta >= 1")
     n = 1 << delta
     graph = Graph(n)
     # Add edges in color order: since add_edge assigns first-free ports

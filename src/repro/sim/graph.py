@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from collections.abc import Iterable, Iterator
+from repro.robustness.errors import InvalidGraph
 
 
 @dataclass(frozen=True)
@@ -26,9 +27,9 @@ class HalfEdge:
 class Graph:
     """A simple undirected graph with port numbers and edge colors."""
 
-    def __init__(self, n: int):
+    def __init__(self, n: int) -> None:
         if n < 1:
-            raise ValueError("a graph needs at least one node")
+            raise InvalidGraph("a graph needs at least one node")
         self._n = n
         self._adjacency: list[list[HalfEdge]] = [[] for _ in range(n)]
         self._endpoints: list[tuple[int, int, int, int]] = []  # u, pu, v, pv
@@ -45,9 +46,9 @@ class Graph:
         self._check_node(u)
         self._check_node(v)
         if u == v:
-            raise ValueError(f"self-loop at node {u}")
+            raise InvalidGraph(f"self-loop at node {u}")
         if any(half.neighbor == v for half in self._adjacency[u]):
-            raise ValueError(f"duplicate edge {{{u}, {v}}}")
+            raise InvalidGraph(f"duplicate edge {{{u}, {v}}}")
         edge_id = len(self._endpoints)
         port_u = len(self._adjacency[u])
         port_v = len(self._adjacency[v])
@@ -67,7 +68,7 @@ class Graph:
 
     def _check_node(self, node: int) -> None:
         if not 0 <= node < self._n:
-            raise ValueError(f"node {node} out of range [0, {self._n})")
+            raise InvalidGraph(f"node {node} out of range [0, {self._n})")
 
     # -- basic queries ------------------------------------------------
 
@@ -109,7 +110,7 @@ class Graph:
         for port, half in enumerate(self._adjacency[node]):
             if half.neighbor == neighbor:
                 return port
-        raise ValueError(f"{neighbor} is not adjacent to {node}")
+        raise InvalidGraph(f"{neighbor} is not adjacent to {node}")
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether {u, v} is an edge."""
@@ -133,7 +134,7 @@ class Graph:
         self._check_node(node)
         adjacency = self._adjacency[node]
         if not 0 <= port < len(adjacency):
-            raise ValueError(f"port {port} out of range for node {node}")
+            raise InvalidGraph(f"port {port} out of range for node {node}")
         return adjacency[port]
 
     # -- edge colors ----------------------------------------------------
@@ -163,11 +164,11 @@ class Graph:
         be a permutation of ``0 .. deg(v)-1``.
         """
         if len(port_maps) != self._n:
-            raise ValueError("need one port map per node")
+            raise InvalidGraph("need one port map per node")
         for node, port_map in enumerate(port_maps):
             expected = set(range(self.degree(node)))
             if set(port_map) != expected or set(port_map.values()) != expected:
-                raise ValueError(f"port map of node {node} is not a permutation")
+                raise InvalidGraph(f"port map of node {node} is not a permutation")
         graph = Graph(self._n)
         graph._adjacency = [
             [HalfEdge(0, 0, 0)] * self.degree(node) for node in range(self._n)

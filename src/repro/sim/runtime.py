@@ -30,13 +30,14 @@ from collections.abc import Callable
 
 from repro.observability import trace as _trace
 from repro.sim.graph import Graph
+from repro.robustness.errors import EngineMisuse, RetryExhausted
 
 
 class MessageTooLargeError(RuntimeError):
     """A CONGEST message exceeded the per-edge bit budget."""
 
 
-def estimate_message_bits(message) -> int:
+def estimate_message_bits(message: object) -> int:
     """A conservative bit-size estimate for CONGEST accounting.
 
     Integers cost their bit length, booleans 1, floats 64, strings 8
@@ -84,8 +85,8 @@ class NodeView:
         graph: Graph,
         model: str,
         rng: random.Random,
-        node_input=None,
-    ):
+        node_input: object = None,
+    ) -> None:
         self._node = node
         self._model = model
         self.degree = graph.degree(node)
@@ -136,7 +137,7 @@ class Algorithm:
         """Handle this round's messages; return True to halt."""
         raise NotImplementedError
 
-    def output(self):
+    def output(self) -> object:
         """The node's local output, read after halting."""
         raise NotImplementedError
 
@@ -184,7 +185,7 @@ def run(
     of the upper-bound algorithms are directly comparable.
     """
     if model not in ("LOCAL", "PN", "CONGEST"):
-        raise ValueError(f"unknown model {model!r}")
+        raise EngineMisuse(f"unknown model {model!r}")
     with _trace.span(
         "sim.run", model=model, n=graph.n, delta=graph.max_degree()
     ) as sim_span:
@@ -207,7 +208,7 @@ def run(
         rounds = 0
         while not all(algorithm.halted for algorithm in algorithms):
             if rounds >= max_rounds:
-                raise RuntimeError(
+                raise RetryExhausted(
                     f"algorithm did not halt within {max_rounds} rounds"
                 )
             rounds += 1
@@ -279,7 +280,7 @@ class Ball:
                     queue.append(half.neighbor)
         if node in distances:
             return distances[node]
-        raise ValueError(f"node {node} is outside the ball")
+        raise EngineMisuse(f"node {node} is outside the ball")
 
 
 def collect_ball(

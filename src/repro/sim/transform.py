@@ -10,8 +10,10 @@ graph constructor with a mapping back to the original edges.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from collections.abc import Iterable
 
 from repro.sim.graph import Graph
+from repro.robustness.errors import InvalidGraph
 
 
 @dataclass
@@ -34,7 +36,7 @@ def line_graph(base: Graph) -> LineGraphResult:
     node_to_edge = [edge_id for edge_id, _, _ in base.edges()]
     edge_to_node = {edge_id: index for index, edge_id in enumerate(node_to_edge)}
     if not node_to_edge:
-        raise ValueError("the base graph has no edges")
+        raise InvalidGraph("the base graph has no edges")
     result = Graph(len(node_to_edge))
     for node in range(base.n):
         incident = [half.edge_id for half in base.half_edges(node)]
@@ -49,7 +51,7 @@ def line_graph(base: Graph) -> LineGraphResult:
     )
 
 
-def induced_subgraph(base: Graph, nodes) -> tuple[Graph, list[int]]:
+def induced_subgraph(base: Graph, nodes: Iterable[int]) -> tuple[Graph, list[int]]:
     """The subgraph induced by ``nodes``.
 
     Returns ``(graph, index_to_original)``; isolated selected nodes are
@@ -57,7 +59,7 @@ def induced_subgraph(base: Graph, nodes) -> tuple[Graph, list[int]]:
     """
     ordered = sorted(set(nodes))
     if not ordered:
-        raise ValueError("cannot induce on an empty node set")
+        raise InvalidGraph("cannot induce on an empty node set")
     position = {node: index for index, node in enumerate(ordered)}
     result = Graph(len(ordered))
     for _, u, v in base.edges():
@@ -67,7 +69,7 @@ def induced_subgraph(base: Graph, nodes) -> tuple[Graph, list[int]]:
 
 
 def matching_from_line_graph_mis(
-    base: Graph, line: LineGraphResult, selected
+    base: Graph, line: LineGraphResult, selected: Iterable[int]
 ) -> set[int]:
     """Translate an MIS of L(G) back to a matching of G (edge ids)."""
     return {line.node_to_edge[node] for node in selected}
@@ -100,7 +102,7 @@ def degeneracy_orientation(graph: Graph) -> tuple[dict[int, int], int]:
     return orientation, degeneracy
 
 
-def is_maximal_matching(base: Graph, edge_ids) -> bool:
+def is_maximal_matching(base: Graph, edge_ids: Iterable[int]) -> bool:
     """Whether the edge set is a matching no edge can be added to."""
     chosen = set(edge_ids)
     covered: set[int] = set()

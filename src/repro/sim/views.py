@@ -18,7 +18,7 @@ from __future__ import annotations
 from repro.sim.graph import Graph
 
 
-def view_signature(graph: Graph, node: int, radius: int):
+def view_signature(graph: Graph, node: int, radius: int) -> tuple:
     """A canonical encoding of the radius-``radius`` PN view of ``node``.
 
     The view is the unfolded tree: per port, the edge color (if any),
@@ -35,7 +35,9 @@ def view_signature(graph: Graph, node: int, radius: int):
     return _unfold(graph, node, arrival_port=None, depth=radius)
 
 
-def _unfold(graph: Graph, node: int, arrival_port: int | None, depth: int):
+def _unfold(
+    graph: Graph, node: int, arrival_port: int | None, depth: int
+) -> tuple:
     if depth == 0:
         return (graph.degree(node), arrival_port)
     branches = []

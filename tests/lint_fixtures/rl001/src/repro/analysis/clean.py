@@ -1,0 +1,8 @@
+"""RL001 fixture: typed error from the robustness hierarchy."""
+
+from repro.robustness.errors import InvalidProblem
+
+
+def reject(count: int) -> None:
+    if count < 0:
+        raise InvalidProblem("negative count", count=count)

@@ -1,0 +1,6 @@
+"""RL001 fixture: the violating raise, explicitly suppressed."""
+
+
+def reject(count: int) -> None:
+    if count < 0:
+        raise ValueError(f"negative count {count}")  # reprolint: disable=RL001 -- fixture exercising suppression

@@ -1,0 +1,6 @@
+"""RL001 fixture: bare builtin raise in engine code."""
+
+
+def reject(count: int) -> None:
+    if count < 0:
+        raise ValueError(f"negative count {count}")

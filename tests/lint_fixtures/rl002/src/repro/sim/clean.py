@@ -1,0 +1,11 @@
+"""RL002 fixture: deterministic equivalents."""
+
+import random
+
+
+def pick(items: list, rng: random.Random) -> object:
+    return items[rng.randrange(len(items))]
+
+
+def render(labels: set) -> list:
+    return [label for label in sorted(labels, key=str)]

@@ -1,0 +1,16 @@
+"""RL002 fixture: nondeterminism in engine code."""
+
+import random
+import time
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def pick(items: list) -> object:
+    return random.choice(items)
+
+
+def render(labels: set) -> list:
+    return [label for label in set(labels)]

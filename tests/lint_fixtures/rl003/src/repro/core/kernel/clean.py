@@ -1,0 +1,9 @@
+"""RL003 fixture: module-level dispatch function."""
+
+
+def _run_chunk(chunk: object) -> object:
+    return chunk
+
+
+def _fan_out(pool: object, chunks: list) -> list:
+    return list(pool.imap(_run_chunk, chunks))

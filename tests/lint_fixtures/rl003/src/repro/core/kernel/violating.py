@@ -1,0 +1,10 @@
+"""RL003 fixture: unpicklable payloads handed to a pool."""
+
+
+def _fan_out(pool: object, chunks: list) -> list:
+    def _local(chunk: object) -> object:
+        return chunk
+
+    results = list(pool.imap(_local, chunks))
+    results += pool.map(lambda chunk: chunk, chunks)
+    return results

@@ -1,0 +1,7 @@
+"""RL004 fixture: declared counters and non-counter adds."""
+
+
+def record(span: object, seen: set) -> None:
+    span.add("labels.in", 3)
+    span.add("cache.hit")
+    seen.add("plainstring")

@@ -1,0 +1,5 @@
+"""RL004 fixture: undeclared counter, explicitly suppressed."""
+
+
+def record(span: object) -> None:
+    span.add("bogus.counter", 1)  # reprolint: disable=RL004 -- fixture exercising suppression

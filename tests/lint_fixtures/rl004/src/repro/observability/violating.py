@@ -1,0 +1,5 @@
+"""RL004 fixture: an undeclared counter emission."""
+
+
+def record(span: object) -> None:
+    span.add("bogus.counter", 1)

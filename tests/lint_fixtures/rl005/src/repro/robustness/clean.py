@@ -1,0 +1,6 @@
+"""RL005 fixture: with-statement entry."""
+
+
+def run(budget_cm: object) -> None:
+    with budget_cm:
+        pass

@@ -1,0 +1,6 @@
+"""RL005 fixture: manual entry, explicitly suppressed."""
+
+
+def run(budget_cm: object) -> None:
+    handle = budget_cm.__enter__()  # reprolint: disable=RL005 -- fixture exercising suppression
+    budget_cm.__exit__(None, None, None)  # reprolint: disable=RL005 -- fixture exercising suppression

@@ -1,0 +1,9 @@
+"""RL005 fixture: a manually entered ambient context manager."""
+
+
+def run(budget_cm: object) -> None:
+    handle = budget_cm.__enter__()
+    try:
+        pass
+    finally:
+        budget_cm.__exit__(None, None, None)

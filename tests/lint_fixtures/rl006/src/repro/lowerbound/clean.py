@@ -1,0 +1,7 @@
+"""RL006 fixture: provenance appended only after the final persist."""
+
+
+def persist_chain(store: object, payload: dict, cache_notes: list) -> None:
+    store.save("chain", payload)
+    notes: list = []
+    notes.append(cache_notes)

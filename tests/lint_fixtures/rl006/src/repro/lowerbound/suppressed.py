@@ -1,0 +1,7 @@
+"""RL006 fixture: early provenance write, explicitly suppressed."""
+
+
+def persist_chain(store: object, payload: dict, cache_notes: list) -> None:
+    notes: list = []
+    notes.append(cache_notes)  # reprolint: disable=RL006 -- fixture exercising suppression
+    store.save("chain", payload)

@@ -1,0 +1,7 @@
+"""RL006 fixture: provenance appended before the final persist."""
+
+
+def persist_chain(store: object, payload: dict, cache_notes: list) -> None:
+    notes: list = []
+    notes.append(cache_notes)
+    store.save("chain", payload)

@@ -1,0 +1,5 @@
+"""RL007 fixture: return the rendering instead of printing it."""
+
+
+def report(value: int) -> str:
+    return f"value is {value}"

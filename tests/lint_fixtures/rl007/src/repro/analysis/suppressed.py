@@ -1,0 +1,5 @@
+"""RL007 fixture: a print justified and suppressed."""
+
+
+def report(value: int) -> None:
+    print(f"value is {value}")  # reprolint: disable=RL007 -- fixture exercising suppression

@@ -1,0 +1,5 @@
+"""RL007 fixture: a stray print in library code."""
+
+
+def report(value: int) -> None:
+    print(f"value is {value}")

@@ -1,0 +1,5 @@
+"""RL007 scope fixture: print is the product under tools/."""
+
+
+def main() -> None:
+    print("tools scripts may print")

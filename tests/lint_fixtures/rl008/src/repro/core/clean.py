@@ -1,0 +1,17 @@
+"""RL008 fixture: fully annotated public API (privates exempt)."""
+
+
+def combine(left: int, right: int) -> int:
+    return _add(left, right)
+
+
+def _add(left, right):
+    return left + right
+
+
+class Box:
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+    def get(self) -> int:
+        return self.value

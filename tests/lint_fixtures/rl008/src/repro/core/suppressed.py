@@ -1,0 +1,5 @@
+"""RL008 fixture: unannotated function, explicitly suppressed."""
+
+
+def combine(left, right):  # reprolint: disable=RL008 -- fixture exercising suppression
+    return left + right

@@ -1,0 +1,13 @@
+"""RL008 fixture: public core API missing annotations."""
+
+
+def combine(left, right):
+    return left + right
+
+
+class Box:
+    def __init__(self, value):
+        self.value = value
+
+    def get(self):
+        return self.value

@@ -1,0 +1,220 @@
+"""Tests for reprolint: fixtures, suppression, discovery, and self-check.
+
+Each rule has a fixture triple under ``tests/lint_fixtures/<rule>/``
+mirroring the real tree's layout (``src/repro/<package>/...``), so the
+path-scoping logic runs identically over fixtures and product code:
+
+* ``violating.py`` — must yield that rule's code (and only it),
+* ``clean.py`` — the idiomatic fix, no violations,
+* ``suppressed.py`` — the violation under ``# reprolint: disable=...``.
+
+The self-check test then pins the shipped tree itself at zero
+violations — the same gate CI runs via ``python -m repro.lint``.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    RULES,
+    discover,
+    is_suppressed,
+    lint_file,
+    lint_paths,
+    parse_suppressions,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "lint_fixtures"
+
+RULE_CODES = [rule.code for rule in RULES]
+
+#: rule code -> directory of its fixture triple (mirrors real scoping).
+FIXTURE_DIRS = {
+    "RL001": FIXTURES / "rl001" / "src" / "repro" / "analysis",
+    "RL002": FIXTURES / "rl002" / "src" / "repro" / "sim",
+    "RL003": FIXTURES / "rl003" / "src" / "repro" / "core" / "kernel",
+    "RL004": FIXTURES / "rl004" / "src" / "repro" / "observability",
+    "RL005": FIXTURES / "rl005" / "src" / "repro" / "robustness",
+    "RL006": FIXTURES / "rl006" / "src" / "repro" / "lowerbound",
+    "RL007": FIXTURES / "rl007" / "src" / "repro" / "analysis",
+    "RL008": FIXTURES / "rl008" / "src" / "repro" / "core",
+}
+
+
+# ---------------------------------------------------------------------------
+# The catalogue itself
+# ---------------------------------------------------------------------------
+
+def test_catalogue_is_complete_and_ordered():
+    assert RULE_CODES == [f"RL00{i}" for i in range(1, 9)]
+    assert len({rule.name for rule in RULES}) == len(RULES)
+    for rule in RULES:
+        assert rule.summary
+
+
+def test_every_rule_has_a_fixture_triple():
+    for code in RULE_CODES:
+        directory = FIXTURE_DIRS[code]
+        for kind in ("violating", "clean", "suppressed"):
+            assert (directory / f"{kind}.py").is_file(), (code, kind)
+
+
+# ---------------------------------------------------------------------------
+# Per-rule fixtures
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("code", RULE_CODES)
+def test_violating_fixture_trips_exactly_its_rule(code):
+    report = lint_file(str(FIXTURE_DIRS[code] / "violating.py"))
+    assert report.error is None
+    assert report.violations, f"{code} fixture yielded nothing"
+    assert {violation.code for violation in report.violations} == {code}
+
+
+@pytest.mark.parametrize("code", RULE_CODES)
+def test_clean_fixture_is_clean(code):
+    report = lint_file(str(FIXTURE_DIRS[code] / "clean.py"))
+    assert report.error is None
+    assert report.violations == ()
+
+
+@pytest.mark.parametrize("code", RULE_CODES)
+def test_suppression_silences_the_rule(code):
+    report = lint_file(str(FIXTURE_DIRS[code] / "suppressed.py"))
+    assert report.error is None
+    assert report.violations == ()
+
+
+def test_rl007_scope_allows_print_under_tools():
+    report = lint_file(str(FIXTURES / "rl007" / "tools" / "script.py"))
+    assert report.error is None
+    assert report.violations == ()
+
+
+def test_violations_render_path_line_code():
+    report = lint_file(str(FIXTURE_DIRS["RL001"] / "violating.py"))
+    rendered = report.violations[0].render()
+    assert "violating.py:6: RL001 " in rendered
+
+
+# ---------------------------------------------------------------------------
+# Suppression comment parsing
+# ---------------------------------------------------------------------------
+
+def test_parse_suppressions_single_and_list():
+    source = (
+        "x = 1  # reprolint: disable=RL001\n"
+        "y = 2  # reprolint: disable=RL002, RL007 -- justified\n"
+        "z = 3  # reprolint: disable=all\n"
+        "w = 4  # an ordinary comment\n"
+    )
+    suppressions = parse_suppressions(source)
+    assert is_suppressed(suppressions, 1, "RL001")
+    assert not is_suppressed(suppressions, 1, "RL002")
+    assert is_suppressed(suppressions, 2, "RL002")
+    assert is_suppressed(suppressions, 2, "RL007")
+    assert is_suppressed(suppressions, 3, "RL008")
+    assert not is_suppressed(suppressions, 4, "RL001")
+
+
+# ---------------------------------------------------------------------------
+# Discovery
+# ---------------------------------------------------------------------------
+
+def test_discover_skips_fixture_and_golden_dirs():
+    files, missing = discover([str(REPO_ROOT / "tests")])
+    assert not missing
+    assert all("lint_fixtures" not in name for name in files)
+    assert any(name.endswith("test_lint.py") for name in files)
+
+
+def test_discover_reports_missing_paths():
+    files, missing = discover([str(REPO_ROOT / "no-such-dir")])
+    assert files == []
+    assert missing == [str(REPO_ROOT / "no-such-dir")]
+
+
+def test_explicitly_named_fixture_is_still_lintable():
+    # Directory walks skip lint_fixtures, but naming a file directly works
+    # (that is how this test module drives the fixtures).
+    path = str(FIXTURE_DIRS["RL001"] / "violating.py")
+    reports, missing = lint_paths([path])
+    assert not missing
+    assert len(reports) == 1
+    assert reports[0].violations
+
+
+# ---------------------------------------------------------------------------
+# Self-check: the shipped tree is lint-clean
+# ---------------------------------------------------------------------------
+
+def test_shipped_tree_is_lint_clean():
+    targets = [
+        str(REPO_ROOT / name)
+        for name in ("src", "tests", "tools", "benchmarks")
+    ]
+    reports, missing = lint_paths(targets)
+    assert not missing
+    problems = [
+        violation.render()
+        for report in reports
+        for violation in report.violations
+    ]
+    errors = [report.error for report in reports if report.error]
+    assert not errors, errors
+    assert not problems, "\n".join(problems)
+
+
+# ---------------------------------------------------------------------------
+# CLI exit-code convention: 0 clean / 1 violations / 2 usage
+# ---------------------------------------------------------------------------
+
+def _run_lint(*arguments: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *arguments],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src")},
+    )
+
+
+def test_cli_exit_0_on_clean_input():
+    result = _run_lint(str(FIXTURE_DIRS["RL001"] / "clean.py"))
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_cli_exit_1_on_violations():
+    result = _run_lint(str(FIXTURE_DIRS["RL001"] / "violating.py"))
+    assert result.returncode == 1
+    assert "RL001" in result.stdout
+    assert "violation" in result.stderr
+
+
+@pytest.mark.parametrize("code", RULE_CODES)
+def test_cli_exit_1_on_each_rules_violating_fixture(code):
+    result = _run_lint(str(FIXTURE_DIRS[code] / "violating.py"))
+    assert result.returncode == 1
+    assert code in result.stdout
+
+
+def test_cli_exit_2_on_usage_errors():
+    assert _run_lint().returncode == 2
+    assert _run_lint("--no-such-flag").returncode == 2
+    assert _run_lint("no/such/path").returncode == 2
+
+
+def test_cli_help_and_list_rules_exit_0():
+    result = _run_lint("--help")
+    assert result.returncode == 0
+    assert "exit" in result.stdout.lower()
+    listing = _run_lint("--list-rules")
+    assert listing.returncode == 0
+    for code in RULE_CODES:
+        assert code in listing.stdout

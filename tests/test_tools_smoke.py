@@ -64,6 +64,11 @@ class TestRegenGolden:
         assert completed.returncode == 2
         assert completed.stderr.startswith("error:")
 
+    def test_help_documents_exit_codes(self):
+        completed = run_script("tools/regen_golden.py", "--help")
+        assert completed.returncode == 0
+        assert "Exit status" in completed.stdout
+
 
 class TestBenchKernel:
     def test_unknown_flag_exits_2(self):
@@ -135,6 +140,11 @@ class TestTraceReport:
         assert completed.returncode == 2
         assert completed.stderr.startswith("error:")
 
+    def test_help_documents_exit_codes(self):
+        completed = run_script("tools/trace_report.py", "--help")
+        assert completed.returncode == 0
+        assert "Exit status" in completed.stdout
+
     def test_cache_summary_on_uncached_trace(self, tmp_path):
         trace = tmp_path / "trace.jsonl"
         write_demo_trace(trace)
@@ -172,6 +182,35 @@ class TestTraceReport:
         )
         assert gate.returncode == 0, gate.stderr + gate.stdout
         assert "hit_rate=100.00%" in gate.stdout
+
+
+class TestReproLint:
+    def test_shipped_tree_is_clean(self):
+        completed = run_script(
+            "-m", "repro.lint", "src", "tests", "tools", "benchmarks"
+        )
+        assert completed.returncode == 0, completed.stdout + completed.stderr
+
+    def test_help_exits_0_and_documents_exit_codes(self):
+        completed = run_script("-m", "repro.lint", "--help")
+        assert completed.returncode == 0
+        assert "Exit status" in completed.stdout
+        for fragment in ("0  clean", "1  violations", "2  usage"):
+            assert fragment in completed.stdout
+
+    def test_no_paths_exits_2(self):
+        completed = run_script("-m", "repro.lint")
+        assert completed.returncode == 2
+        assert completed.stderr.startswith("error:")
+
+    def test_violating_fixture_exits_1(self):
+        completed = run_script(
+            "-m", "repro.lint",
+            "tests/lint_fixtures/rl001/src/repro/analysis/violating.py",
+        )
+        assert completed.returncode == 1
+        assert "RL001" in completed.stdout
+        assert "violation" in completed.stderr
 
 
 class TestCliTraceFlags:

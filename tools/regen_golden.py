@@ -101,13 +101,30 @@ def regenerate() -> int:
     return 0
 
 
+USAGE = """\
+usage: python tools/regen_golden.py [--check]
+
+Regenerate (default) or verify (--check) the golden round-elimination
+corpus under tests/golden/.
+
+Exit status (unified across repro tooling):
+    0  corpus regenerated / all files current
+    1  drift: a golden file is missing or stale, or the computation failed
+    2  usage error
+"""
+
+
 def main(argv: list[str]) -> int:
     check_only = False
     for argument in argv:
+        if argument in ("-h", "--help"):
+            print(USAGE, end="")
+            return 0
         if argument == "--check":
             check_only = True
         else:
             print(f"error: unknown option {argument}", file=sys.stderr)
+            print(USAGE, file=sys.stderr, end="")
             return 2
     try:
         return check() if check_only else regenerate()

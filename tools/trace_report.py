@@ -48,7 +48,12 @@ from repro.observability.schema import load_trace
 USAGE = (
     "usage: trace_report.py report <trace.jsonl>\n"
     "       trace_report.py diff <a.jsonl> <b.jsonl>\n"
-    "       trace_report.py cache <trace.jsonl> [--min-hit-rate <fraction>]"
+    "       trace_report.py cache <trace.jsonl> [--min-hit-rate <fraction>]\n"
+    "\n"
+    "Exit status (unified across repro tooling):\n"
+    "    0  success / zero drift / hit rate at or above threshold\n"
+    "    1  drift: semantic counters differ, or cache gate failed\n"
+    "    2  usage error or unreadable/schema-invalid trace"
 )
 
 
@@ -126,6 +131,9 @@ def main(argv: list[str]) -> int:
     if not argv:
         print(USAGE, file=sys.stderr)
         return 2
+    if argv[0] in ("-h", "--help"):
+        print(USAGE)
+        return 0
     command, *operands = argv
     if command == "report":
         if len(operands) != 1:
