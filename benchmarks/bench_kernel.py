@@ -11,7 +11,16 @@ a committed trajectory of measured speedups on the Delta=4 MIS chain:
   kernel-vs-reference speedup ratio fell below one third of the best
   recorded ratio (a >3x regression).  Comparing *ratios* rather than
   wall-clock seconds keeps the gate meaningful across machines of
-  different speeds; the whole run stays well under a minute.
+  different speeds; the whole run stays well under a minute.  The
+  quick gate also runs a seeded chaos mini-run of the shard scheduler
+  (worker killed mid-chain under a memory budget) and fails on any
+  semantic drift, missed recovery, or budget overrun, printing the
+  recovered ``mp.retries`` / ``mp.mem_admitted_peak`` counters.
+* ``PYTHONPATH=src python benchmarks/bench_kernel.py --sharded``
+  records a ``mode: sharded`` trajectory row for the Delta=5 chain on
+  the supervised scheduler: cold (fresh spill directory) and warm
+  (resumed from the full spill) timings, the admitted-memory
+  high-water mark under a 64 KiB budget, and the recovery counters.
 
 Besides timings, every measurement runs the chain once per engine
 under a tracer and records the summed counters: the semantic ones
@@ -25,9 +34,11 @@ diagnostic.
 import json
 import os
 import sys
+import tempfile
 import time
 
-from repro.core.round_elimination import R, Rbar, rename_to_strings
+from repro.core.kernel.sharding import ShardPolicy, scheduling
+from repro.core.round_elimination import R, Rbar, rename_to_strings, speedup
 from repro.observability.metrics import (
     diff_semantic_profiles,
     semantic_profile,
@@ -37,14 +48,21 @@ from repro.observability.trace import Tracer, tracing
 from repro.problems.family import family_problem
 from repro.problems.mis import mis_problem
 
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, REPO_ROOT)  # for tests.faults in the chaos gate
 from bench_engine import MIS_CHAIN_DELTA, MIS_CHAIN_STEPS, run_mis_chain
 
-TRAJECTORY_PATH = os.path.join(
-    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-    "BENCH_kernel.json",
-)
+TRAJECTORY_PATH = os.path.join(REPO_ROOT, "BENCH_kernel.json")
 REGRESSION_FACTOR = 3.0
+
+#: Admission budget used by the chaos gate and the sharded trajectory
+#: row — small enough to force batch-at-a-time admission on the Delta=4
+#: and Delta=5 chains, large enough for their biggest single unit.
+SHARD_BUDGET_BYTES = 65536
+
+SHARDED_DELTA = 5
+SHARDED_WORKERS = 4
 
 
 # ---------------------------------------------------------------------------
@@ -201,6 +219,192 @@ def cache_gate() -> int:
     return 0
 
 
+def _mem_peak(records: list[dict]) -> int:
+    """The largest per-run admitted high-water mark in a trace.
+
+    Each ``kernel.map`` span's ``mp.mem_admitted_peak`` total is that
+    scheduler run's in-flight peak, so the max over spans is the
+    memory high-water mark of the whole chain.
+    """
+    return max(
+        (
+            record["counters"].get("mp.mem_admitted_peak", 0)
+            for record in records
+            if record.get("type") == "span"
+        ),
+        default=0,
+    )
+
+
+def chaos_gate() -> int:
+    """Seeded worker kills under a memory budget; 0 = full recovery.
+
+    The Delta=4 chain runs on the supervised scheduler with the first
+    two dispatches of every step SIGKILLed and a 64 KiB admission
+    budget.  The gate fails on output divergence, semantic-counter
+    drift against the clean kernel run, a missed injection (no
+    recorded deaths/retries), or an admission peak over the budget.
+    """
+    from tests.faults import WorkerKiller
+
+    policy = ShardPolicy(
+        worker_probe=WorkerKiller({0, 1}),
+        max_inflight_bytes=SHARD_BUDGET_BYTES,
+        backoff_base_seconds=0.01,
+        backoff_cap_seconds=0.05,
+    )
+    tracer = Tracer()
+    with tracing(tracer), scheduling(policy):
+        chaotic = run_mis_chain(use_kernel=True, workers=2)
+    records = tracer.finish()
+    if chaotic != run_mis_chain(use_kernel=True):
+        print(
+            "error: chaos run diverged from the clean kernel chain",
+            file=sys.stderr,
+        )
+        return 1
+    drift = diff_semantic_profiles(
+        semantic_profile(traced_chain_records(use_kernel=True)),
+        semantic_profile(records),
+    )
+    if drift:
+        for line in drift:
+            print(f"  {line}")
+        print(
+            "error: chaos run drifted semantically from the clean run",
+            file=sys.stderr,
+        )
+        return 1
+    totals = total_counters(records)
+    retries = totals.get("mp.retries", 0)
+    deaths = totals.get("mp.worker_deaths", 0)
+    peak = _mem_peak(records)
+    if deaths == 0 or retries == 0:
+        print(
+            f"error: chaos gate expected injected deaths and retries, "
+            f"saw deaths={deaths} retries={retries}",
+            file=sys.stderr,
+        )
+        return 1
+    if peak > SHARD_BUDGET_BYTES:
+        print(
+            f"error: admitted-memory peak {peak} exceeds the "
+            f"{SHARD_BUDGET_BYTES}-byte budget",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"chaos gate: mp.worker_deaths={deaths} mp.retries={retries} "
+        f"mp.mem_admitted_peak={peak} (budget {SHARD_BUDGET_BYTES})"
+    )
+    return 0
+
+
+def run_sharded_chain(policy: ShardPolicy):
+    """The Delta=5 chain on the supervised scheduler."""
+    problem = mis_problem(SHARDED_DELTA)
+    with scheduling(policy):
+        for _ in range(MIS_CHAIN_STEPS):
+            problem = speedup(
+                problem, use_kernel=True, workers=SHARDED_WORKERS
+            ).problem
+    return problem
+
+
+def record_sharded() -> int:
+    """Append a ``mode: sharded`` cold/warm row to the trajectory.
+
+    Cold runs against a fresh spill directory (every finished shard is
+    sealed to disk); warm reruns the identical chain against the now-
+    full spill store, so shards load instead of recompute.  Both runs
+    are traced — the row carries the admitted-memory high-water mark
+    under the budget, the recovery/spill counters, and the semantic
+    drift against the serial kernel chain (must be empty).
+    """
+    serial = mis_problem(SHARDED_DELTA)
+    tracer = Tracer()
+    with tracing(tracer):
+        for _ in range(MIS_CHAIN_STEPS):
+            serial = speedup(serial, use_kernel=True).problem
+    serial_records = tracer.finish()
+
+    with tempfile.TemporaryDirectory(prefix="bench-spill-") as spill_dir:
+        policy = ShardPolicy(
+            max_inflight_bytes=SHARD_BUDGET_BYTES, spill_dir=spill_dir
+        )
+        cold_tracer = Tracer()
+        started = time.perf_counter()
+        with tracing(cold_tracer):
+            cold = run_sharded_chain(policy)
+        cold_seconds = time.perf_counter() - started
+        cold_records = cold_tracer.finish()
+
+        warm_tracer = Tracer()
+        started = time.perf_counter()
+        with tracing(warm_tracer):
+            warm = run_sharded_chain(policy)
+        warm_seconds = time.perf_counter() - started
+        warm_records = warm_tracer.finish()
+
+    if not (serial == cold == warm):
+        print(
+            "error: sharded cold/warm runs diverged from the serial "
+            "chain",
+            file=sys.stderr,
+        )
+        return 1
+    warm_totals = total_counters(warm_records)
+    if warm_totals.get("mp.spill_loads", 0) == 0:
+        print(
+            "error: warm run loaded nothing from the spill store",
+            file=sys.stderr,
+        )
+        return 1
+    drift = diff_semantic_profiles(
+        semantic_profile(serial_records), semantic_profile(cold_records)
+    )
+    if drift:
+        for line in drift:
+            print(f"  {line}")
+        print(
+            "error: sharded run drifted semantically from serial",
+            file=sys.stderr,
+        )
+        return 1
+    cold_totals = total_counters(cold_records)
+    entry = {
+        "chain": f"mis_delta{SHARDED_DELTA}_steps{MIS_CHAIN_STEPS}",
+        "mode": "sharded",
+        "workers": SHARDED_WORKERS,
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "mem_budget_bytes": SHARD_BUDGET_BYTES,
+        "mem_peak_bytes": max(_mem_peak(cold_records), _mem_peak(warm_records)),
+        "counters": {
+            "cold": {
+                counter: value
+                for counter, value in sorted(cold_totals.items())
+                if counter.startswith("mp.")
+            },
+            "warm": {
+                counter: value
+                for counter, value in sorted(warm_totals.items())
+                if counter.startswith("mp.")
+            },
+        },
+        "semantic_drift": drift,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    trajectory = load_trajectory()
+    trajectory.append(entry)
+    with open(TRAJECTORY_PATH, "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=2)
+        handle.write("\n")
+    print(f"recorded: {entry}")
+    print(f"trajectory length: {len(trajectory)} ({TRAJECTORY_PATH})")
+    return 0
+
+
 def quick_gate() -> int:
     """Single measurement vs. the best recorded ratio; 0 = pass.
 
@@ -233,6 +437,9 @@ def quick_gate() -> int:
     failed = cache_gate()
     if failed:
         return failed
+    failed = chaos_gate()
+    if failed:
+        return failed
     # The trajectory also holds cold/warm cache entries (bench_cache.py)
     # whose "speedup" measures cache amplification, not the kernel —
     # only kernel measurements set the regression floor.
@@ -258,15 +465,20 @@ def quick_gate() -> int:
 
 def main(argv: list[str]) -> int:
     quick = False
+    sharded = False
     for argument in argv:
         if argument == "--quick":
             quick = True
+        elif argument == "--sharded":
+            sharded = True
         else:
             print(f"error: unknown option {argument}", file=sys.stderr)
             return 2
     try:
         if quick:
             return quick_gate()
+        if sharded:
+            return record_sharded()
         record()
         return 0
     except Exception as error:  # any measurement failure must exit non-zero

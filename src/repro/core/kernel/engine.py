@@ -322,14 +322,13 @@ def maximize_edge_constraint_kernel(
     _trace.add("edge.closed_sets", len(closed_sets))
     pairs: list[tuple[int, int]] | None = None
     if pool is not None and len(closed_sets) > 1:
-        chunk_size = -(-len(closed_sets) // min(
-            len(closed_sets), max(pool.workers, 1) * 4
-        ))
-        count = -(-len(closed_sets) // chunk_size)
+        # One closed set per unit; the scheduler groups units into
+        # shards (slice width is the memory estimate) and merges them
+        # back in index order, so the pair list equals the serial loop.
         chunks = pool.map_chunks(
             "edge-pair",
-            (tuple(kernel.compat), closed_sets, chunk_size),
-            count,
+            (tuple(kernel.compat), closed_sets),
+            len(closed_sets),
             phase="edge-maximization",
         )
         if chunks is not None:

@@ -1,8 +1,8 @@
 """Opt-in multiprocessing fan-out for the kernel's DFS-shaped work.
 
-Three kinds of work chunk cleanly by an independent top-level index, so
-the serial result is exactly the in-order concatenation (or set union)
-of per-chunk results:
+Three kinds of work chunk cleanly by an independent top-level unit
+index, so the serial result is exactly the in-order concatenation (or
+set union) of per-unit results:
 
 * ``node-max`` — the arity-Delta maximization DFS of ``Rbar``, chunked
   by its top-level right-closed-set prefix: the subtree whose first
@@ -10,161 +10,139 @@ of per-chunk results:
 * ``exists`` — the existential-constraint DFS of both operators,
   chunked the same way by the first chosen new label.
 * ``edge-pair`` — the Galois pairing loop of the edge maximization,
-  chunked as contiguous slices of the closed-set lattice (each closed
-  set is tested independently).
+  one closed set per unit (each set is tested independently).
 
-A :class:`KernelPool` owns one ``multiprocessing`` pool and is reused
+A :class:`KernelPool` owns one supervised
+:class:`~repro.core.kernel.sharding.ShardScheduler` and is reused
 across a whole ``speedup`` call — both operators, all three chunk
-kinds — instead of spawning a pool per operator.  On the success path
-the pool is shut down with ``close()``/``join()`` (letting workers
-finish cleanly); ``terminate()`` is reserved for the error path.  With
-``workers <= 1``, a single chunk, or a pool that cannot be created
-(restricted environments), callers fall back to the serial loop —
-no pool is ever built for one chunk.
+kinds.  Units are grouped into contiguous *shards* with cheap size
+estimates, admitted batch-at-a-time against the ambient memory budget,
+and each in-flight shard is supervised: a worker that dies (OOM-kill,
+segfault, signal) or wedges past its deadline no longer hangs the
+parent the way the old one-shot ``pool.imap`` fan-out did — the shard
+is retried with backoff, split, or run serially in the parent, and
+failures surface as typed :class:`~repro.robustness.errors.ReproError`
+exceptions with the pool torn down.  See
+:mod:`repro.core.kernel.sharding` for the scheduler, the spill/resume
+store, and the determinism contract (index-ordered merge equals the
+serial run byte-for-byte).
+
+With ``workers <= 1``, a single unit, or workers that cannot be
+spawned (restricted environments), callers fall back to the serial
+loop — no processes are ever built for one unit of work.
 
 Budget interplay (PR 1's ``governed()`` machinery): workers run
 unbudgeted — a ``Budget`` is deliberately not shipped across the
 process boundary, because its wall clock and fault-injection probe are
 bound to the parent — and instead the *parent* fires the ambient
-checkpoints between chunk results, with the accumulated result count.
-Wall-clock budgets, configuration caps, and injected faults therefore
-still trip in parallel mode, at chunk granularity rather than per DFS
-node.  Callers who need per-node enforcement should stay on the serial
-path (``workers=None``).
+checkpoints as shard results are accepted, with the accumulated result
+count.  Wall-clock budgets, configuration caps, and injected faults
+therefore still trip in parallel mode, at shard granularity rather
+than per DFS node.  Callers who need per-node enforcement should stay
+on the serial path (``workers=None``).
 
 Tracing interplay (the observability layer): a ``Tracer`` likewise
 never crosses the process boundary.  When the parent has an ambient
 tracer, each task carries a boolean flag; the worker then records its
-chunk into a *local* tracer and returns the finished records alongside
+shard into a *local* tracer and returns the finished records alongside
 the results, and the parent grafts them under its open span
-(:meth:`~repro.observability.trace.Tracer.graft`) — so chunk spans
-appear in the parent's trace tree with per-chunk counters, while an
-untraced run ships nothing extra at all.
+(:meth:`~repro.observability.trace.Tracer.graft`).  Only the winning
+attempt of a shard ever ships records — abandoned attempts are dropped
+whole, so retries can never double-count counters or graft duplicate
+spans.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import multiprocessing.pool
+from typing import Any
 
-from repro.core.kernel.engine import (
-    edge_pairing_chunk,
-    search_existential_chunk,
-    search_maximization_chunk,
+from repro.core.kernel.sharding import (
+    ShardPolicy,
+    ShardScheduler,
+    active_policy,
+    run_shard_serial,
 )
 from repro.observability import trace as _trace
 from repro.robustness import budget as _budget
-from repro.robustness.errors import EngineMisuse
-
-
-def _dispatch(kind: str, payload: tuple, index: int) -> list:
-    if kind == "node-max":
-        candidates, member_steps, closure, arity = payload
-        return search_maximization_chunk(
-            candidates, member_steps, closure, arity, index
-        )
-    if kind == "exists":
-        member_steps, closure, arity = payload
-        return search_existential_chunk(member_steps, closure, arity, index)
-    if kind == "edge-pair":
-        compat, closed_sets, chunk_size = payload
-        low = index * chunk_size
-        high = min(low + chunk_size, len(closed_sets))
-        return edge_pairing_chunk(compat, closed_sets, low, high)
-    raise EngineMisuse(f"unknown chunk kind: {kind}")
-
-
-def _run_task(task: tuple) -> tuple[list, list[dict] | None]:
-    kind, payload, index, traced = task
-    if not traced:
-        return _dispatch(kind, payload, index), None
-    tracer = _trace.Tracer()
-    with _trace.tracing(tracer):
-        with _trace.span("kernel.chunk", kind=kind, first_index=index) as span:
-            chunk = _dispatch(kind, payload, index)
-            span.add("mp.chunk_results", len(chunk))
-    return chunk, tracer.records
 
 
 class KernelPool:
-    """One reusable worker pool spanning a whole ``speedup`` call.
+    """One reusable supervised worker fleet spanning a ``speedup`` call.
 
-    The pool is created lazily on the first :meth:`map_chunks` that can
-    use it; a creation failure is remembered so callers fall back to
-    the serial loop exactly once.  Use as a context manager:
-    ``close()``/``join()`` on clean exit, ``terminate()`` when an
-    exception (for example a budget trip) escapes.
+    The scheduler (and its worker processes) is created lazily on the
+    first :meth:`map_chunks` that can use it; a spawn failure is
+    remembered so callers fall back to the serial loop exactly once.
+    Use as a context manager: ``close()`` (sentinel + join) on clean
+    exit, ``terminate()`` (kill) when an exception — a budget trip, an
+    injected fault, a worker-side typed error — escapes.
+
+    The shard policy resolves in precedence order: one passed here
+    explicitly, else the ambient policy installed by
+    :func:`repro.core.kernel.sharding.scheduling`, else the defaults
+    (budget-provided knobs fill remaining ``None`` fields at run time).
     """
 
-    def __init__(self, workers: int | None) -> None:
+    def __init__(
+        self, workers: int | None, *, policy: ShardPolicy | None = None
+    ) -> None:
         self.workers = workers or 0
-        self._pool = None
+        self.policy = policy
+        self._scheduler: ShardScheduler | None = None
         self._failed = False
 
     def usable(self) -> bool:
         return self.workers > 1 and not self._failed
 
-    def _ensure(self) -> multiprocessing.pool.Pool | None:
-        if self._pool is None and not self._failed:
-            try:
-                self._pool = multiprocessing.get_context().Pool(
-                    processes=self.workers
-                )
-            except (OSError, ValueError):
+    def _ensure(self) -> ShardScheduler | None:
+        if self._scheduler is None and not self._failed:
+            policy = self.policy
+            if policy is None:
+                policy = active_policy()
+            scheduler = ShardScheduler(self.workers, policy)
+            if scheduler.start():
+                self._scheduler = scheduler
+            else:
                 self._failed = True
-        return self._pool
+        return self._scheduler
 
     def map_chunks(
         self, kind: str, payload: tuple, count: int, *, phase: str
     ) -> list[list] | None:
-        """Run ``count`` chunks of ``kind`` across the pool.
+        """Run ``count`` units of ``kind`` across the supervised fleet.
 
-        Returns the list of per-chunk results in index order, or
-        ``None`` when the pool is unusable (``workers <= 1``, a single
-        chunk, or pool creation failed) — the caller then runs the
-        serial loop.  The parent fires ambient budget checkpoints and
-        counts ``mp.*`` between chunk results, and grafts worker-local
-        trace records under its open span.
+        Returns per-shard result lists in unit order (flattening gives
+        the serial result exactly), or ``None`` when the fleet is
+        unusable (``workers <= 1``, a single unit, or spawn failure) —
+        the caller then runs the serial loop.  Worker deaths, wedged
+        shards, and memory faults are retried/degraded by the scheduler
+        rather than hanging; unrecoverable failures raise typed errors
+        (the surrounding context manager then ``terminate()``s).
         """
         if count <= 1 or not self.usable():
             return None
-        pool = self._ensure()
-        if pool is None:
+        scheduler = self._ensure()
+        if scheduler is None:
             return None
-        traced = _trace.tracing_enabled()
-        tasks = [(kind, payload, index, traced) for index in range(count)]
-        chunks: list[list] = []
-        produced = 0
-        for index, (chunk, records) in enumerate(pool.imap(_run_task, tasks)):
-            _budget.check_configurations(
-                produced,
-                phase=phase,
-                chunk=index,
-                parallel_workers=self.workers,
-            )
-            _trace.add("mp.chunks")
-            _trace.add("mp.chunk_results", len(chunk))
-            if records is not None:
-                tracer = _trace.active_tracer()
-                if tracer is not None:
-                    tracer.graft(records)
-            chunks.append(chunk)
-            produced += len(chunk)
-        return chunks
+        try:
+            return scheduler.run(kind, payload, count, phase=phase)
+        except BaseException:
+            # The error path must never leave live workers behind a
+            # raised typed error (the old imap fan-out deadlocked
+            # here): kill the fleet now, then let the error surface.
+            self.terminate()
+            raise
 
     def close(self) -> None:
-        """Clean shutdown: let queued workers finish, then join."""
-        if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
-            self._pool = None
+        """Clean shutdown: let workers drain their sentinel, then join."""
+        if self._scheduler is not None:
+            self._scheduler.close()
+            self._scheduler = None
 
     def terminate(self) -> None:
         """Hard shutdown for the error path."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        if self._scheduler is not None:
+            self._scheduler.terminate()
+            self._scheduler = None
 
     def __enter__(self) -> "KernelPool":
         return self
@@ -187,15 +165,16 @@ def run_chunks_serial(
 ) -> list[list]:
     """The in-process twin of :meth:`KernelPool.map_chunks`.
 
-    Same chunk decomposition, same budget checkpoints and ``mp.*``
-    counters at chunk granularity — used when a pool is unavailable so
-    parallel-requested runs behave identically minus the processes.
+    Same unit decomposition, same budget checkpoints and ``mp.*``
+    counters at unit granularity — used when a worker fleet is
+    unavailable so parallel-requested runs behave identically minus the
+    processes.
     """
     chunks: list[list] = []
     produced = 0
     for index in range(count):
         _budget.check_configurations(produced, phase=phase, chunk=index)
-        chunk = _dispatch(kind, payload, index)
+        chunk: list[Any] = run_shard_serial(kind, payload, index, index + 1)
         _trace.add("mp.chunks")
         _trace.add("mp.chunk_results", len(chunk))
         chunks.append(chunk)
@@ -215,7 +194,7 @@ def search_maximization_parallel(
     Returns the same list, in the same order, as the serial search.
     Kept as the stable entry point for callers without a shared
     :class:`KernelPool`; falls back to the serial chunk loop when the
-    pool cannot help.
+    fleet cannot help.
     """
     payload = (candidates, member_steps, closure, arity)
     count = len(candidates)

@@ -1,0 +1,1070 @@
+"""Fault-tolerant, memory-bounded shard scheduling for the kernel.
+
+:mod:`repro.core.kernel.parallel` used to fan every chunk out at once
+through a bare ``pool.imap`` — one dead worker hung the parent forever,
+and nothing bounded the aggregate memory of the in-flight candidate
+suffixes.  This module replaces that with a supervised work-queue
+scheduler in the batching discipline of GMM_SublinearMPC's notes
+(partition candidates into batches whose total volume fits a budget,
+process batch-at-a-time, merge incrementally):
+
+* **Shards.**  The unit index space of a chunk kind (top-level
+  right-closed-prefix for ``node-max``/``exists``, closed-set index for
+  ``edge-pair``) is partitioned into contiguous :class:`Shard` ranges.
+  Each shard carries a cheap size estimate — candidate-suffix volume
+  for the DFS kinds, slice width for the pairing loop — and shards are
+  admitted batch-at-a-time so the total in-flight estimate never
+  exceeds the configured memory budget (``mp.mem_admitted_peak``
+  records the high-water mark per operator span).
+* **Supervision.**  Workers are plain ``multiprocessing`` processes fed
+  one shard at a time over per-worker queues.  The parent polls a
+  shared result queue with a heartbeat instead of blocking: a worker
+  that died (OOM-kill, segfault, signal) or blew its shard deadline is
+  detected, killed if still wedged, and respawned.
+* **Degradation ladder** (the shape of PR 1's
+  :mod:`repro.robustness.degradation`, weakest medicine first): the
+  failed shard is retried with capped exponential backoff and jitter up
+  to ``max_retries``; an exhausted shard is split in half (halving its
+  memory estimate — the medicine for a real OOM); an unsplittable shard
+  falls back to the in-parent serial twin; only when serial also fails
+  does :class:`~repro.robustness.errors.RetryExhausted` propagate.  A
+  typed :class:`~repro.robustness.errors.ReproError` raised *inside* a
+  worker is deterministic engine failure, not infrastructure fault — it
+  is re-raised immediately, never retried.
+* **Spill/resume.**  With a spill directory configured, each finished
+  shard is persisted as a sealed JSON checkpoint (the atomic,
+  SHA-256-sealed primitives of :mod:`repro.core.io` via
+  :class:`~repro.robustness.checkpointing.CheckpointStore`) under a key
+  derived from the normalized payload, so an interrupted run resumes
+  from its finished shards and still merges to byte-identical output.
+* **Determinism.**  Results merge in unit-index order no matter how
+  shards were retried, split, spilled, or resumed, so the concatenated
+  output equals the serial run exactly — the invariant every
+  differential test of this package relies on.
+
+Every recovery action is observable: schema-declared counters
+(``mp.retries``, ``mp.worker_deaths``, ``mp.shard_splits``,
+``mp.spilled_bytes``, ``mp.spill_loads``, ``mp.mem_admitted_peak``)
+plus ``shard.*`` trace events, and each executed attempt records a
+``kernel.shard`` span (grafted from the worker, or opened in-parent for
+the serial twin).  Abandoned attempts ship nothing — a superseded
+result arriving late is dropped before it can double-count.
+
+Budget knobs thread through :func:`repro.robustness.budget.governed`
+(``max_shard_bytes``, ``max_shard_retries``); everything else — the
+deadline, backoff shape, spill directory, and the fault-injection
+``worker_probe`` — rides on a :class:`ShardPolicy` installed ambiently
+with :func:`scheduling` or passed to the pool explicitly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import os
+import pickle
+import queue as _queue_module
+import random
+import time
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, replace
+from typing import Any
+
+import multiprocessing
+import multiprocessing.process
+import multiprocessing.queues
+
+from repro.core.io import payload_digest
+from repro.core.kernel.engine import (
+    edge_pairing_chunk,
+    search_existential_chunk,
+    search_maximization_chunk,
+)
+from repro.observability import trace as _trace
+from repro.robustness import budget as _budget
+from repro.robustness.checkpointing import CheckpointStore
+from repro.robustness.errors import EngineMisuse, ReproError, RetryExhausted
+
+#: Nominal bytes charged per unit of work in the cheap size estimates.
+UNIT_BYTES = 128
+
+#: Retry cap applied when neither the policy nor the budget sets one.
+DEFAULT_MAX_RETRIES = 2
+
+#: Shards per worker targeted when no memory budget constrains sizing.
+SHARDS_PER_WORKER = 4
+
+
+# ---------------------------------------------------------------------------
+# Policy
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShardPolicy:
+    """Knobs of the shard scheduler (all optional; defaults are sane).
+
+    Attributes:
+        max_retries: per-shard retry cap before the degradation ladder
+            (``None`` defers to the ambient budget's
+            ``max_shard_retries``, then :data:`DEFAULT_MAX_RETRIES`).
+        max_inflight_bytes: aggregate admission budget over the size
+            estimates of in-flight shards (``None`` defers to the
+            ambient budget's ``max_shard_bytes``, then unbounded).
+        shard_timeout_seconds: supervising deadline per attempt; a
+            worker past it is presumed wedged, killed, and the shard
+            retried.  ``None`` disables the deadline (death detection
+            still works).
+        backoff_base_seconds / backoff_cap_seconds / backoff_jitter:
+            capped exponential backoff between retries of one shard,
+            with a multiplicative jitter fraction drawn from a
+            ``seed``-ed RNG (deterministic per scheduler).
+        seed: seed of the jitter RNG.
+        poll_interval_seconds: parent heartbeat — how long one result
+            poll blocks before liveness/deadline sweeps run.
+        spill_dir: directory for the sealed per-shard partial store;
+            ``None`` disables spilling.
+        worker_probe: picklable callable invoked in the *worker* with a
+            context dict (``seq``, ``attempt``, ``kind``, ``lo``,
+            ``hi``, ``estimate``) before each attempt — the process
+            -level fault-injection surface (see ``tests/faults.py``).
+    """
+
+    max_retries: int | None = None
+    max_inflight_bytes: int | None = None
+    shard_timeout_seconds: float | None = 120.0
+    backoff_base_seconds: float = 0.05
+    backoff_cap_seconds: float = 2.0
+    backoff_jitter: float = 0.25
+    seed: int = 0
+    poll_interval_seconds: float = 0.02
+    spill_dir: str | os.PathLike[str] | None = None
+    worker_probe: Callable[[dict[str, Any]], None] | None = None
+
+
+_ACTIVE_POLICY: ContextVar[ShardPolicy | None] = ContextVar(
+    "repro_active_shard_policy", default=None
+)
+
+
+def active_policy() -> ShardPolicy | None:
+    """The ambient policy installed by :func:`scheduling`, if any."""
+    return _ACTIVE_POLICY.get()
+
+
+@contextmanager
+def scheduling(policy: ShardPolicy | None) -> Iterator[ShardPolicy | None]:
+    """Install ``policy`` as the ambient shard policy for the block.
+
+    Mirrors :func:`repro.robustness.budget.governed`:
+    ``scheduling(None)`` is a no-op pass-through, nesting restores the
+    previous policy on exit.  :class:`~repro.core.kernel.parallel.KernelPool`
+    picks the ambient policy up when none is passed explicitly.
+    """
+    if policy is None:
+        yield None
+        return
+    token = _ACTIVE_POLICY.set(policy)
+    try:
+        yield policy
+    finally:
+        _ACTIVE_POLICY.reset(token)
+
+
+# ---------------------------------------------------------------------------
+# Shards and their size estimates
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Shard:
+    """A contiguous range ``[lo, hi)`` of unit indices of one chunk kind."""
+
+    lo: int
+    hi: int
+    estimate: int
+    attempts: int = 0
+
+    @property
+    def width(self) -> int:
+        return self.hi - self.lo
+
+
+def unit_estimates(kind: str, count: int) -> list[int]:
+    """Cheap per-unit size estimates, in nominal bytes.
+
+    ``node-max`` / ``exists`` unit ``i`` explores the DFS subtree whose
+    first choice is candidate ``i``, which touches only candidates
+    ``>= i`` — its estimate is the candidate-suffix volume
+    ``(count - i) * UNIT_BYTES``.  ``edge-pair`` units are independent
+    closed sets, one flat charge each (slice width).
+    """
+    if kind in ("node-max", "exists"):
+        return [(count - index) * UNIT_BYTES for index in range(count)]
+    if kind == "edge-pair":
+        return [UNIT_BYTES] * count
+    raise EngineMisuse(f"unknown chunk kind: {kind}")
+
+
+def plan_shards(
+    estimates: list[int], lo: int, hi: int, target: int
+) -> list[Shard]:
+    """Greedily partition ``[lo, hi)`` into shards of ``<= target`` bytes.
+
+    A single unit larger than ``target`` gets a shard of its own — the
+    partition can never go below one unit.
+    """
+    shards: list[Shard] = []
+    start = lo
+    volume = 0
+    for index in range(lo, hi):
+        unit = estimates[index]
+        if index > start and volume + unit > target:
+            shards.append(Shard(lo=start, hi=index, estimate=volume))
+            start = index
+            volume = 0
+        volume += unit
+    if start < hi:
+        shards.append(Shard(lo=start, hi=hi, estimate=volume))
+    return shards
+
+
+def shard_estimate(estimates: list[int], lo: int, hi: int) -> int:
+    """The planned size estimate of the range ``[lo, hi)``."""
+    return sum(estimates[lo:hi])
+
+
+# ---------------------------------------------------------------------------
+# The work itself (runs in workers and in the parent serial twin)
+# ---------------------------------------------------------------------------
+
+def run_shard_serial(
+    kind: str, payload: tuple[Any, ...], lo: int, hi: int
+) -> list[Any]:
+    """Execute one shard in-process: the serial twin of a worker attempt.
+
+    The concatenation over a partition of ``[0, count)`` in index order
+    is exactly the serial chunk loop's output — the determinism
+    contract retries, splits, and resume all lean on.
+    """
+    if kind == "node-max":
+        candidates, member_steps, closure, arity = payload
+        results: list[Any] = []
+        for index in range(lo, hi):
+            results.extend(
+                search_maximization_chunk(
+                    candidates, member_steps, closure, arity, index
+                )
+            )
+        return results
+    if kind == "exists":
+        member_steps, closure, arity = payload
+        results = []
+        for index in range(lo, hi):
+            results.extend(
+                search_existential_chunk(member_steps, closure, arity, index)
+            )
+        return results
+    if kind == "edge-pair":
+        compat, closed_sets = payload
+        return list(edge_pairing_chunk(compat, closed_sets, lo, hi))
+    raise EngineMisuse(f"unknown chunk kind: {kind}")
+
+
+def _ship_error(error: BaseException) -> tuple[bytes | None, str, str]:
+    """A picklable description of a worker-side failure."""
+    try:
+        blob: bytes | None = pickle.dumps(error)
+    except Exception:
+        blob = None
+    return (blob, type(error).__name__, repr(error))
+
+
+def _revive_error(body: tuple[bytes | None, str, str]) -> BaseException:
+    """Reconstruct a shipped worker failure (best effort)."""
+    blob, type_name, rendered = body
+    if blob is not None:
+        try:
+            revived = pickle.loads(blob)
+            if isinstance(revived, BaseException):
+                return revived
+        except Exception:
+            pass
+    if type_name == "MemoryError":
+        return MemoryError(rendered)
+    return RuntimeError(f"{type_name}: {rendered}")
+
+
+def shard_worker(
+    tasks: multiprocessing.queues.Queue,  # type: ignore[type-arg]
+    results: multiprocessing.queues.Queue,  # type: ignore[type-arg]
+) -> None:
+    """The worker loop: one shard per task, results shipped back.
+
+    Task: ``(seq, attempt, kind, payload, lo, hi, estimate, traced,
+    probe)``; a ``None`` task is the clean-shutdown sentinel.  Result:
+    ``(seq, "ok", shard_results, trace_records_or_None)`` or
+    ``(seq, "error", shipped_error, None)``.  The probe fires *before*
+    tracing starts, so a killed or failed attempt ships no records —
+    only winning attempts can ever be grafted (no duplicate spans, no
+    double counting).
+    """
+    while True:
+        try:
+            task = tasks.get()
+        except (EOFError, OSError):
+            return
+        if task is None:
+            return
+        seq, attempt, kind, payload, lo, hi, estimate, traced, probe = task
+        try:
+            if probe is not None:
+                probe(
+                    {
+                        "seq": seq,
+                        "attempt": attempt,
+                        "kind": kind,
+                        "lo": lo,
+                        "hi": hi,
+                        "estimate": estimate,
+                    }
+                )
+            if traced:
+                tracer = _trace.Tracer()
+                with _trace.tracing(tracer):
+                    with _trace.span(
+                        "kernel.shard",
+                        kind=kind,
+                        lo=lo,
+                        hi=hi,
+                        attempt=attempt,
+                    ):
+                        with _trace.span(
+                            "kernel.chunk", kind=kind, first_index=lo
+                        ) as chunk_span:
+                            shard_results = run_shard_serial(
+                                kind, payload, lo, hi
+                            )
+                            chunk_span.add(
+                                "mp.chunk_results", len(shard_results)
+                            )
+                records: list[dict[str, Any]] | None = tracer.records
+            else:
+                shard_results = run_shard_serial(kind, payload, lo, hi)
+                records = None
+            results.put((seq, "ok", shard_results, records))
+        except BaseException as error:  # ship it; the parent classifies
+            try:
+                results.put((seq, "error", _ship_error(error), None))
+            except (EOFError, OSError):
+                return
+
+
+# ---------------------------------------------------------------------------
+# Spill store: sealed per-shard partial results
+# ---------------------------------------------------------------------------
+
+def _normalize_payload(value: Any) -> Any:
+    """JSON-safe canonical form of a chunk payload, for run keys."""
+    if isinstance(value, frozenset):
+        return sorted(value)
+    if isinstance(value, (tuple, list)):
+        return [_normalize_payload(item) for item in value]
+    return value
+
+
+def spill_run_key(kind: str, payload: tuple[Any, ...], count: int) -> str:
+    """A stable digest identifying one chunked computation.
+
+    Two runs over the same (kind, payload, unit count) share the key —
+    and only those — so resumed shards can never be merged into a
+    different computation.
+    """
+    return payload_digest([kind, count, _normalize_payload(payload)])[:20]
+
+
+class ShardSpillStore:
+    """Sealed on-disk partial results, one checkpoint file per shard.
+
+    Reuses :class:`~repro.robustness.checkpointing.CheckpointStore`:
+    every file is atomically written and SHA-256 sealed, so a kill
+    mid-spill never leaves a torn shard and bit rot is detected (a
+    corrupt shard is discarded and recomputed, never trusted).
+    """
+
+    def __init__(self, directory: str | os.PathLike[str]) -> None:
+        self.store = CheckpointStore(directory)
+
+    @staticmethod
+    def _stage(run_key: str, lo: int, hi: int) -> str:
+        return f"shard-{run_key}-{lo:06d}-{hi:06d}"
+
+    def save(
+        self, run_key: str, kind: str, lo: int, hi: int, results: list[Any]
+    ) -> int:
+        """Persist one finished shard; returns the bytes written."""
+        payload = {
+            "kind": kind,
+            "lo": lo,
+            "hi": hi,
+            "results": [list(item) for item in results],
+        }
+        return self.store.save(self._stage(run_key, lo, hi), payload)
+
+    def load_finished(
+        self, run_key: str, kind: str, count: int
+    ) -> dict[tuple[int, int], list[Any]]:
+        """All valid finished shards of ``run_key``, keyed by range.
+
+        Overlapping or out-of-range shards (possible only under manual
+        tampering) are skipped; corrupt files are deleted by the
+        sealed-digest check.  Results come back exactly as the workers
+        produced them (tuples restored).
+        """
+        prefix = f"shard-{run_key}-"
+        loaded: dict[tuple[int, int], list[Any]] = {}
+        covered: set[int] = set()
+        for stage in self.store.stages():
+            if not stage.startswith(prefix):
+                continue
+            payload, _corruption = self.store.load_or_discard(stage)
+            if not isinstance(payload, dict):
+                continue
+            lo, hi = payload.get("lo"), payload.get("hi")
+            if (
+                payload.get("kind") != kind
+                or not isinstance(lo, int)
+                or not isinstance(hi, int)
+                or not 0 <= lo < hi <= count
+                or any(unit in covered for unit in range(lo, hi))
+                or not isinstance(payload.get("results"), list)
+            ):
+                continue
+            loaded[(lo, hi)] = [tuple(item) for item in payload["results"]]
+            covered.update(range(lo, hi))
+        return loaded
+
+
+# ---------------------------------------------------------------------------
+# The scheduler
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Worker:
+    """One supervised worker slot."""
+
+    process: multiprocessing.process.BaseProcess
+    tasks: multiprocessing.queues.Queue  # type: ignore[type-arg]
+    busy_seq: int | None = None
+
+
+@dataclass
+class _Flight:
+    """One in-flight shard attempt."""
+
+    shard: Shard
+    worker_index: int
+    deadline: float
+
+
+class ShardScheduler:
+    """Supervised, retryable, memory-accounted shard execution.
+
+    One scheduler owns ``workers`` processes for its lifetime (a whole
+    ``speedup`` call when driven through
+    :class:`~repro.core.kernel.parallel.KernelPool`) and runs one
+    chunked computation at a time through :meth:`run`.
+    """
+
+    def __init__(self, workers: int, policy: ShardPolicy | None = None) -> None:
+        self.workers = workers
+        self.policy = policy if policy is not None else ShardPolicy()
+        self._context = multiprocessing.get_context()
+        self._slots: list[_Worker | None] = []
+        self._results: multiprocessing.queues.Queue | None = None  # type: ignore[type-arg]
+        self._started = False
+        self._seq = 0
+        self._rng = random.Random(self.policy.seed)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> bool:
+        """Spawn the result queue and worker processes.
+
+        Returns ``False`` (after cleaning up) when the platform refuses
+        process or queue creation — the caller then falls back to the
+        serial loop.  Idempotent once started.
+        """
+        if self._started:
+            return True
+        try:
+            self._results = self._context.Queue()
+            for _ in range(self.workers):
+                self._slots.append(self._spawn())
+        except (OSError, ValueError):
+            self.terminate()
+            return False
+        self._started = True
+        return True
+
+    def _spawn(self) -> _Worker:
+        tasks: multiprocessing.queues.Queue = self._context.Queue()  # type: ignore[type-arg]
+        process = self._context.Process(
+            target=shard_worker, args=(tasks, self._results), daemon=True
+        )
+        process.start()
+        return _Worker(process=process, tasks=tasks)
+
+    def _respawn(self, index: int) -> bool:
+        """Replace the worker in ``index`` (its process is dead or wedged)."""
+        old = self._slots[index]
+        if old is not None:
+            if old.process.is_alive():
+                old.process.kill()
+            old.process.join(timeout=2.0)
+            old.tasks.close()
+            old.tasks.cancel_join_thread()
+        try:
+            self._slots[index] = self._spawn()
+        except (OSError, ValueError):
+            self._slots[index] = None
+            return False
+        return True
+
+    def close(self) -> None:
+        """Clean shutdown: sentinel every worker, join, then reap."""
+        for slot in self._slots:
+            if slot is None:
+                continue
+            try:
+                slot.tasks.put(None)
+            except (OSError, ValueError):
+                pass
+        for slot in self._slots:
+            if slot is None:
+                continue
+            slot.process.join(timeout=2.0)
+            if slot.process.is_alive():
+                slot.process.kill()
+                slot.process.join(timeout=2.0)
+            slot.tasks.close()
+            slot.tasks.cancel_join_thread()
+        self._drop_result_queue()
+        self._slots = []
+        self._started = False
+
+    def terminate(self) -> None:
+        """Hard shutdown for the error path: kill everything now."""
+        for slot in self._slots:
+            if slot is None:
+                continue
+            if slot.process.is_alive():
+                slot.process.kill()
+            slot.process.join(timeout=2.0)
+            slot.tasks.close()
+            slot.tasks.cancel_join_thread()
+        self._drop_result_queue()
+        self._slots = []
+        self._started = False
+
+    def _drop_result_queue(self) -> None:
+        if self._results is not None:
+            self._results.close()
+            self._results.cancel_join_thread()
+            self._results = None
+
+    def __enter__(self) -> "ShardScheduler":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: object,
+    ) -> bool:
+        if exc_type is None:
+            self.close()
+        else:
+            self.terminate()
+        return False
+
+    # -- policy resolution -----------------------------------------------
+
+    def _resolved_retries(self) -> int:
+        if self.policy.max_retries is not None:
+            return self.policy.max_retries
+        budget = _budget.current_budget()
+        if budget is not None and budget.max_shard_retries is not None:
+            return budget.max_shard_retries
+        return DEFAULT_MAX_RETRIES
+
+    def _resolved_inflight_cap(self) -> int | None:
+        if self.policy.max_inflight_bytes is not None:
+            return self.policy.max_inflight_bytes
+        budget = _budget.current_budget()
+        if budget is not None:
+            return budget.max_shard_bytes
+        return None
+
+    def _backoff_delay(self, attempts: int) -> float:
+        base = self.policy.backoff_base_seconds * (2 ** max(attempts - 1, 0))
+        capped = min(base, self.policy.backoff_cap_seconds)
+        return capped * (1.0 + self.policy.backoff_jitter * self._rng.random())
+
+    # -- the run ---------------------------------------------------------
+
+    def run(
+        self, kind: str, payload: tuple[Any, ...], count: int, *, phase: str
+    ) -> list[list[Any]]:
+        """Execute ``count`` units of ``kind`` and merge in index order.
+
+        Returns one result list per contiguous range, ordered by range
+        start — flattening reproduces the serial loop byte-for-byte.
+        Raises the worker's own typed error for deterministic engine
+        failures, and :class:`RetryExhausted` when a shard outlives the
+        whole degradation ladder.
+        """
+        if not self._started:
+            raise EngineMisuse("ShardScheduler.run before start()")
+        state = _RunState(
+            kind=kind,
+            payload=payload,
+            count=count,
+            phase=phase,
+            traced=_trace.tracing_enabled(),
+            estimates=unit_estimates(kind, count),
+            max_retries=self._resolved_retries(),
+            inflight_cap=self._resolved_inflight_cap(),
+        )
+        # One span per chunked computation.  Every mp.* counter and
+        # shard.* event of this run lands here, so the span's
+        # mp.mem_admitted_peak total IS this run's high-water mark —
+        # an operator span hosting several runs (node-max + exists)
+        # would otherwise sum their peaks.
+        with _trace.span("kernel.map", kind=kind, phase=phase, units=count):
+            self._load_spill(state)
+            self._plan(state)
+            poll = self.policy.poll_interval_seconds
+            while state.heap or state.inflight or state.serial_pending:
+                while state.serial_pending:
+                    self._run_serial(state, state.serial_pending.pop())
+                self._assign(state)
+                if state.inflight:
+                    self._drain(state, timeout=poll)
+                    self._sweep(state)
+                elif state.heap:
+                    if state.broken:
+                        while state.heap:
+                            state.serial_pending.append(
+                                heapq.heappop(state.heap)[2]
+                            )
+                        continue
+                    wait = max(0.0, state.heap[0][0] - time.monotonic())  # reprolint: disable=RL002 -- supervision clock, not output
+                    time.sleep(min(wait, 0.05))
+        ranges = sorted(state.done)
+        units = sum(hi - lo for lo, hi in ranges)
+        if units != count:
+            raise EngineMisuse(
+                "shard ranges do not tile the unit space",
+                kind=kind,
+                count=count,
+                covered=units,
+            )
+        return [state.done[key] for key in ranges]
+
+    # -- planning and resume ---------------------------------------------
+
+    def _load_spill(self, state: "_RunState") -> None:
+        if self.policy.spill_dir is None:
+            return
+        state.spill = ShardSpillStore(self.policy.spill_dir)
+        state.run_key = spill_run_key(state.kind, state.payload, state.count)
+        loaded = state.spill.load_finished(
+            state.run_key, state.kind, state.count
+        )
+        for (lo, hi), results in sorted(loaded.items()):
+            state.done[(lo, hi)] = results
+            state.produced += len(results)
+            _trace.add("mp.spill_loads")
+            _trace.add("mp.chunks", hi - lo)
+            _trace.add("mp.chunk_results", len(results))
+            _trace.event(
+                "shard.spill_load",
+                kind=state.kind,
+                lo=lo,
+                hi=hi,
+                results=len(results),
+            )
+
+    def _plan(self, state: "_RunState") -> None:
+        covered: set[int] = set()
+        for lo, hi in state.done:
+            covered.update(range(lo, hi))
+        remaining = sum(
+            state.estimates[index]
+            for index in range(state.count)
+            if index not in covered
+        )
+        if state.inflight_cap is not None:
+            target = max(1, state.inflight_cap // max(self.workers, 1))
+        else:
+            target = max(
+                1, -(-remaining // (max(self.workers, 1) * SHARDS_PER_WORKER))
+            )
+        start: int | None = None
+        for index in range(state.count + 1):
+            gap = index < state.count and index not in covered
+            if gap and start is None:
+                start = index
+            elif not gap and start is not None:
+                for shard in plan_shards(state.estimates, start, index, target):
+                    state.push(shard, release=0.0)
+                start = None
+
+    # -- dispatch --------------------------------------------------------
+
+    def _assign(self, state: "_RunState") -> None:
+        now = time.monotonic()  # reprolint: disable=RL002 -- supervision clock, not output
+        while state.heap and state.heap[0][0] <= now:
+            shard = state.heap[0][2]
+            if (
+                state.inflight
+                and state.inflight_cap is not None
+                and state.inflight_bytes + shard.estimate > state.inflight_cap
+            ):
+                break
+            index = self._idle_worker(state)
+            if index is None:
+                if state.broken:
+                    heapq.heappop(state.heap)
+                    state.serial_pending.append(shard)
+                    continue
+                break
+            heapq.heappop(state.heap)
+            if (
+                state.inflight_cap is not None
+                and shard.estimate > state.inflight_cap
+            ):
+                _trace.event(
+                    "shard.oversized",
+                    kind=state.kind,
+                    lo=shard.lo,
+                    hi=shard.hi,
+                    estimate=shard.estimate,
+                    budget=state.inflight_cap,
+                )
+            self._dispatch(state, shard, index)
+            now = time.monotonic()  # reprolint: disable=RL002 -- supervision clock, not output
+
+    def _idle_worker(self, state: "_RunState") -> int | None:
+        for index, slot in enumerate(self._slots):
+            if slot is None or slot.busy_seq is not None:
+                continue
+            if not slot.process.is_alive():
+                # Died while idle; replace quietly (no shard was lost).
+                if not self._respawn(index):
+                    continue
+                slot = self._slots[index]
+                if slot is None:
+                    continue
+            return index
+        if all(slot is None for slot in self._slots):
+            state.broken = True
+        return None
+
+    def _dispatch(self, state: "_RunState", shard: Shard, index: int) -> None:
+        slot = self._slots[index]
+        if slot is None:
+            state.serial_pending.append(shard)
+            return
+        seq = self._seq
+        self._seq += 1
+        timeout = self.policy.shard_timeout_seconds
+        deadline = (
+            math.inf if timeout is None else time.monotonic() + timeout  # reprolint: disable=RL002 -- supervision clock, not output
+        )
+        task = (
+            seq,
+            shard.attempts,
+            state.kind,
+            state.payload,
+            shard.lo,
+            shard.hi,
+            shard.estimate,
+            state.traced,
+            self.policy.worker_probe,
+        )
+        try:
+            slot.tasks.put(task)
+        except (OSError, ValueError):
+            self._slots[index] = None
+            state.serial_pending.append(shard)
+            return
+        slot.busy_seq = seq
+        state.inflight[seq] = _Flight(
+            shard=shard, worker_index=index, deadline=deadline
+        )
+        state.note_admitted(shard.estimate)
+
+    # -- the event loop --------------------------------------------------
+
+    def _drain(self, state: "_RunState", timeout: float) -> None:
+        assert self._results is not None
+        try:
+            message = self._results.get(timeout=timeout)
+        except _queue_module.Empty:
+            return
+        except (EOFError, OSError):
+            return
+        self._process_message(state, message)
+        while True:
+            try:
+                message = self._results.get_nowait()
+            except _queue_module.Empty:
+                return
+            except (EOFError, OSError):
+                return
+            self._process_message(state, message)
+
+    def _process_message(
+        self, state: "_RunState", message: tuple[Any, ...]
+    ) -> None:
+        seq, status, body, records = message
+        flight = state.inflight.pop(seq, None)
+        if flight is None:
+            # A superseded attempt finishing late: drop it whole — no
+            # counters, no graft, no results (satellite of the retry
+            # determinism contract).
+            _trace.event("shard.superseded", seq=seq)
+            return
+        slot = self._slots[flight.worker_index]
+        if slot is not None and slot.busy_seq == seq:
+            slot.busy_seq = None
+        state.note_admitted(-flight.shard.estimate)
+        if status == "ok":
+            self._accept(state, flight.shard, body, records)
+            return
+        error = _revive_error(body)
+        if isinstance(error, ReproError):
+            # Deterministic engine failure — the serial run would raise
+            # it too.  Propagate; never retry.
+            raise error
+        if isinstance(error, MemoryError):
+            _trace.event(
+                "shard.memory_fault",
+                kind=state.kind,
+                lo=flight.shard.lo,
+                hi=flight.shard.hi,
+                estimate=flight.shard.estimate,
+            )
+            self._degrade(state, flight.shard)
+            return
+        self._retry(state, flight.shard, reason=f"worker error: {error!r}")
+
+    def _sweep(self, state: "_RunState") -> None:
+        now = time.monotonic()  # reprolint: disable=RL002 -- supervision clock, not output
+        for seq, flight in list(state.inflight.items()):
+            slot = self._slots[flight.worker_index]
+            dead = slot is None or not slot.process.is_alive()
+            wedged = not dead and now > flight.deadline
+            if not dead and not wedged:
+                continue
+            del state.inflight[seq]
+            state.note_admitted(-flight.shard.estimate)
+            _trace.add("mp.worker_deaths")
+            _trace.event(
+                "shard.worker_death",
+                kind=state.kind,
+                lo=flight.shard.lo,
+                hi=flight.shard.hi,
+                attempt=flight.shard.attempts,
+                wedged=wedged,
+            )
+            self._respawn(flight.worker_index)
+            self._retry(
+                state,
+                flight.shard,
+                reason="worker wedged past deadline" if wedged else "worker died",
+            )
+
+    # -- recovery ladder -------------------------------------------------
+
+    def _retry(self, state: "_RunState", shard: Shard, *, reason: str) -> None:
+        shard.attempts += 1
+        if shard.attempts <= state.max_retries:
+            delay = self._backoff_delay(shard.attempts)
+            _trace.add("mp.retries")
+            _trace.event(
+                "shard.retry",
+                kind=state.kind,
+                lo=shard.lo,
+                hi=shard.hi,
+                attempt=shard.attempts,
+                delay_s=round(delay, 4),
+                reason=reason,
+            )
+            state.push(shard, release=time.monotonic() + delay)  # reprolint: disable=RL002 -- supervision clock, not output
+            return
+        self._degrade(state, shard)
+
+    def _degrade(self, state: "_RunState", shard: Shard) -> None:
+        if shard.width > 1:
+            mid = (shard.lo + shard.hi) // 2
+            _trace.add("mp.shard_splits")
+            _trace.event(
+                "shard.split",
+                kind=state.kind,
+                lo=shard.lo,
+                hi=shard.hi,
+                mid=mid,
+            )
+            for lo, hi in ((shard.lo, mid), (mid, shard.hi)):
+                state.push(
+                    Shard(
+                        lo=lo,
+                        hi=hi,
+                        estimate=shard_estimate(state.estimates, lo, hi),
+                    ),
+                    release=0.0,
+                )
+            return
+        _trace.event(
+            "shard.serial_fallback",
+            kind=state.kind,
+            lo=shard.lo,
+            hi=shard.hi,
+            attempts=shard.attempts,
+        )
+        state.serial_pending.append(shard)
+
+    def _run_serial(self, state: "_RunState", shard: Shard) -> None:
+        """The in-parent serial twin — last rung of the ladder."""
+        try:
+            with _trace.span(
+                "kernel.shard",
+                kind=state.kind,
+                lo=shard.lo,
+                hi=shard.hi,
+                attempt=shard.attempts,
+                mode="serial",
+            ):
+                results = run_shard_serial(
+                    state.kind, state.payload, shard.lo, shard.hi
+                )
+        except ReproError:
+            raise
+        except Exception as error:
+            raise RetryExhausted(
+                "shard failed after retries, splits, and serial fallback",
+                kind=state.kind,
+                lo=shard.lo,
+                hi=shard.hi,
+                attempts=shard.attempts,
+            ) from error
+        self._accept(state, shard, results, None)
+
+    # -- acceptance ------------------------------------------------------
+
+    def _accept(
+        self,
+        state: "_RunState",
+        shard: Shard,
+        results: list[Any],
+        records: list[dict[str, Any]] | None,
+    ) -> None:
+        _budget.check_configurations(
+            state.produced,
+            phase=state.phase,
+            chunk=shard.lo,
+            parallel_workers=self.workers,
+        )
+        _trace.add("mp.shards")
+        _trace.add("mp.chunks", shard.width)
+        _trace.add("mp.chunk_results", len(results))
+        if records is not None:
+            tracer = _trace.active_tracer()
+            if tracer is not None:
+                tracer.graft(records)
+        state.done[(shard.lo, shard.hi)] = results
+        state.produced += len(results)
+        if state.spill is not None and state.run_key is not None:
+            spilled = state.spill.save(
+                state.run_key, state.kind, shard.lo, shard.hi, results
+            )
+            _trace.add("mp.spilled_bytes", spilled)
+            _trace.event(
+                "shard.spill",
+                kind=state.kind,
+                lo=shard.lo,
+                hi=shard.hi,
+                bytes=spilled,
+            )
+
+
+@dataclass
+class _RunState:
+    """The mutable state of one :meth:`ShardScheduler.run`."""
+
+    kind: str
+    payload: tuple[Any, ...]
+    count: int
+    phase: str
+    traced: bool
+    estimates: list[int]
+    max_retries: int
+    inflight_cap: int | None
+
+    def __post_init__(self) -> None:
+        self.heap: list[tuple[float, int, Shard]] = []
+        self.inflight: dict[int, _Flight] = {}
+        self.serial_pending: list[Shard] = []
+        self.done: dict[tuple[int, int], list[Any]] = {}
+        self.produced = 0
+        self.inflight_bytes = 0
+        self.peak_bytes = 0
+        self.broken = False
+        self.spill: ShardSpillStore | None = None
+        self.run_key: str | None = None
+        self._order = 0
+
+    def push(self, shard: Shard, *, release: float) -> None:
+        heapq.heappush(self.heap, (release, self._order, shard))
+        self._order += 1
+
+    def note_admitted(self, delta: int) -> None:
+        """Track in-flight estimate bytes; the peak lands in the trace.
+
+        ``mp.mem_admitted_peak`` is emitted as monotone *increments to
+        the running maximum*, so its per-span total equals the span's
+        admitted high-water mark (counters must never decrease).
+        """
+        self.inflight_bytes += delta
+        if delta > 0 and self.inflight_bytes > self.peak_bytes:
+            _trace.add(
+                "mp.mem_admitted_peak", self.inflight_bytes - self.peak_bytes
+            )
+            self.peak_bytes = self.inflight_bytes
+
+
+def policy_with(policy: ShardPolicy | None, **overrides: Any) -> ShardPolicy:
+    """A copy of ``policy`` (or the defaults) with fields replaced."""
+    return replace(policy if policy is not None else ShardPolicy(), **overrides)
+
+
+__all__ = [
+    "UNIT_BYTES",
+    "DEFAULT_MAX_RETRIES",
+    "ShardPolicy",
+    "scheduling",
+    "active_policy",
+    "Shard",
+    "unit_estimates",
+    "plan_shards",
+    "shard_estimate",
+    "run_shard_serial",
+    "shard_worker",
+    "ShardSpillStore",
+    "spill_run_key",
+    "ShardScheduler",
+    "policy_with",
+]

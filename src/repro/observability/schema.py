@@ -62,6 +62,13 @@ TIMING_COUNTERS = (
     "budget.checkpoints",
     "mp.chunks",
     "mp.chunk_results",
+    "mp.shards",
+    "mp.retries",
+    "mp.worker_deaths",
+    "mp.shard_splits",
+    "mp.spilled_bytes",
+    "mp.spill_loads",
+    "mp.mem_admitted_peak",
     "sim.messages",
     "sim.rounds",
 )

@@ -38,10 +38,18 @@ class CheckpointStore:
         """The on-disk path of ``stage``."""
         return self.directory / f"{stage}.json"
 
-    def save(self, stage: str, payload: dict) -> None:
-        """Atomically persist ``payload`` under ``stage``."""
-        write_json_checkpoint(self.path_for(stage), payload)
-        _trace.event("checkpoint.save", stage=stage)
+    def save(self, stage: str, payload: dict) -> int:
+        """Atomically persist ``payload`` under ``stage``.
+
+        Returns the size of the sealed document in bytes, so spill
+        accounting (``mp.spilled_bytes`` in the shard scheduler) can
+        charge exactly what landed on disk.
+        """
+        path = self.path_for(stage)
+        write_json_checkpoint(path, payload)
+        size = path.stat().st_size
+        _trace.event("checkpoint.save", stage=stage, bytes=size)
+        return size
 
     def load(self, stage: str) -> object | None:
         """The payload of ``stage``, or ``None`` when absent.

@@ -23,6 +23,12 @@ The ladder, weakest medicine first:
    original), so downstream upper-bound conclusions stay sound, but
    information is genuinely lost; the event is flagged ``LOSSY`` and
    must appear in any certificate built from the result.
+
+The parallel kernel's shard scheduler
+(:mod:`repro.core.kernel.sharding`) follows the same
+weakest-medicine-first shape for *infrastructure* faults — retry with
+backoff, split the shard, fall back to serial — where this module
+degrades the *problem* for semantic budget trips.
 """
 
 from __future__ import annotations

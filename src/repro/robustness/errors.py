@@ -107,7 +107,13 @@ class InvalidTrace(ReproError, ValueError):
 
 
 class RetryExhausted(BudgetExceeded):
-    """A bounded retry or round loop ran out of attempts."""
+    """A bounded retry or round loop ran out of attempts.
+
+    The shard scheduler (:mod:`repro.core.kernel.sharding`) raises this
+    only after its whole degradation ladder failed — backoff retries,
+    shard splits, and the in-parent serial fallback — so catching it
+    means the work itself is broken, not just one worker process.
+    """
 
 
 __all__ = [

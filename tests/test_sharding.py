@@ -1,0 +1,458 @@
+"""The fault-tolerant shard scheduler, under injected process faults.
+
+The contract under test (ISSUE 6 / ROADMAP item 2): no matter how
+workers die, wedge, OOM, or get interrupted mid-run, the parallel
+kernel either produces output *byte-identical* to the serial engine or
+raises a typed :class:`~repro.robustness.errors.ReproError` with the
+fleet torn down — never a silent divergence, never the old ``imap``
+deadlock.  Every recovery path (retry/backoff, shard split, serial
+fallback, spill/resume) is driven here by the process-level injectors
+of :mod:`tests.faults` and checked against the serial run.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.io import problem_to_json
+from repro.core.kernel.sharding import (
+    DEFAULT_MAX_RETRIES,
+    ShardPolicy,
+    ShardScheduler,
+    ShardSpillStore,
+    UNIT_BYTES,
+    plan_shards,
+    scheduling,
+    spill_run_key,
+    unit_estimates,
+)
+from repro.core.round_elimination import Rbar, speedup
+from repro.observability.metrics import total_counters
+from repro.observability.schema import TIMING_COUNTERS, validate_trace
+from repro.observability.trace import Tracer, tracing
+from repro.problems.mis import mis_problem
+from repro.robustness.budget import Budget, governed
+from repro.robustness.errors import EngineMisuse
+from tests.faults import (
+    AllocationCap,
+    FaultInjector,
+    InjectedFault,
+    StallInjector,
+    WorkerKiller,
+    corrupt_checkpoint,
+)
+from tests.oracle import classic_corpus
+
+MIS_CHAIN_DELTA = 4
+MIS_CHAIN_STEPS = 2
+
+#: Fast backoff for tests — recovery paths identical, wall clock tiny.
+FAST = {"backoff_base_seconds": 0.01, "backoff_cap_seconds": 0.05}
+
+
+def run_chain(*, workers=None, policy=None, budget=None):
+    """The Delta=4 MIS chain (two speedups) as one JSON string."""
+    problem = mis_problem(MIS_CHAIN_DELTA)
+    with governed(budget):
+        with scheduling(policy):
+            for _ in range(MIS_CHAIN_STEPS):
+                problem = speedup(
+                    problem, use_kernel=True, workers=workers
+                ).problem
+    return problem_to_json(problem)
+
+
+@pytest.fixture(scope="module")
+def serial_chain():
+    return run_chain()
+
+
+def spans(records):
+    return [r for r in records if r["type"] == "span"]
+
+
+# ---------------------------------------------------------------------------
+# Shard planning
+# ---------------------------------------------------------------------------
+
+class TestPlanning:
+    def test_unit_estimates_shapes(self):
+        # DFS kinds: candidate-suffix volume, decreasing in the index.
+        node = unit_estimates("node-max", 4)
+        assert node == [4 * UNIT_BYTES, 3 * UNIT_BYTES, 2 * UNIT_BYTES, UNIT_BYTES]
+        assert unit_estimates("exists", 3) == unit_estimates("node-max", 3)
+        # Pairing: one flat charge per closed set (slice width).
+        assert unit_estimates("edge-pair", 3) == [UNIT_BYTES] * 3
+        with pytest.raises(EngineMisuse):
+            unit_estimates("nonsense", 2)
+
+    @given(
+        count=st.integers(min_value=1, max_value=60),
+        target=st.integers(min_value=1, max_value=100 * UNIT_BYTES),
+        kind=st.sampled_from(["node-max", "exists", "edge-pair"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_plan_tiles_the_range(self, count, target, kind):
+        estimates = unit_estimates(kind, count)
+        shards = plan_shards(estimates, 0, count, target)
+        # Contiguous, ordered, exactly tiling [0, count).
+        assert shards[0].lo == 0 and shards[-1].hi == count
+        for left, right in zip(shards, shards[1:]):
+            assert left.hi == right.lo
+        for shard in shards:
+            assert shard.estimate == sum(estimates[shard.lo:shard.hi])
+            # Over target only when a single unit already is.
+            if shard.width > 1:
+                assert shard.estimate <= target
+
+    def test_run_key_distinguishes_payloads(self):
+        one = spill_run_key("node-max", ((1, 2), ((1,),), frozenset({0}), 2), 2)
+        two = spill_run_key("node-max", ((1, 3), ((1,),), frozenset({0}), 2), 2)
+        assert one != two
+        assert one == spill_run_key(
+            "node-max", ((1, 2), ((1,),), frozenset({0}), 2), 2
+        )
+
+
+# ---------------------------------------------------------------------------
+# The spill store
+# ---------------------------------------------------------------------------
+
+class TestSpillStore:
+    def test_roundtrip(self, tmp_path):
+        store = ShardSpillStore(tmp_path)
+        results = [(3, 5), (7, 11)]
+        size = store.save("k" * 20, "edge-pair", 0, 2, results)
+        assert size > 0
+        loaded = store.load_finished("k" * 20, "edge-pair", 4)
+        assert loaded == {(0, 2): [(3, 5), (7, 11)]}
+
+    def test_corrupt_shard_discarded(self, tmp_path):
+        store = ShardSpillStore(tmp_path)
+        store.save("k" * 20, "exists", 0, 1, [(0,)])
+        store.save("k" * 20, "exists", 1, 3, [(1, 2)])
+        corrupt_checkpoint(store.store.path_for("shard-" + "k" * 20 + "-000001-000003"))
+        loaded = store.load_finished("k" * 20, "exists", 3)
+        # The damaged range is dropped (and recomputed by the caller),
+        # the sealed one survives.
+        assert loaded == {(0, 1): [(0,)]}
+
+    def test_wrong_kind_and_overlap_skipped(self, tmp_path):
+        store = ShardSpillStore(tmp_path)
+        store.save("k" * 20, "exists", 0, 2, [(0,)])
+        store.save("k" * 20, "node-max", 1, 3, [(9,)])
+        loaded = store.load_finished("k" * 20, "exists", 3)
+        assert loaded == {(0, 2): [(0,)]}
+
+
+# ---------------------------------------------------------------------------
+# Recovery: deaths, wedges, retries, the full ladder
+# ---------------------------------------------------------------------------
+
+class TestRecovery:
+    def test_chaos_chain_acceptance(self, serial_chain):
+        """The ISSUE 6 acceptance run: >= 3 SIGKILLed workers in the
+        Delta=4 MIS chain, byte-identical output, retries visible."""
+        started = time.monotonic()
+        tracer = Tracer()
+        policy = ShardPolicy(worker_probe=WorkerKiller({0, 1, 2}), **FAST)
+        with tracing(tracer):
+            faulted = run_chain(workers=4, policy=policy)
+        elapsed = time.monotonic() - started
+        assert faulted == serial_chain
+        totals = total_counters(tracer.finish())
+        assert totals.get("mp.worker_deaths", 0) >= 3
+        assert totals.get("mp.retries", 0) >= 3
+        assert elapsed < 120.0
+
+    def test_kill_only_first_attempts_counts_exactly(self, serial_chain):
+        tracer = Tracer()
+        policy = ShardPolicy(worker_probe=WorkerKiller({1, 3}), **FAST)
+        with tracing(tracer):
+            faulted = run_chain(workers=2, policy=policy)
+        assert faulted == serial_chain
+        totals = total_counters(tracer.finish())
+        # Each killed seq is an attempt-0 dispatch; its retry gets a
+        # fresh seq and survives.  Every speedup of the chain owns a
+        # scheduler with its own dispatch counter, so the two seqs die
+        # once per step: exactly 2 * steps deaths, and as many retries.
+        assert totals.get("mp.worker_deaths") == 2 * MIS_CHAIN_STEPS
+        assert totals.get("mp.retries") == 2 * MIS_CHAIN_STEPS
+
+    def test_wedged_worker_killed_at_deadline(self, serial_chain):
+        tracer = Tracer()
+        policy = ShardPolicy(
+            worker_probe=StallInjector({0}),
+            shard_timeout_seconds=0.3,
+            **FAST,
+        )
+        with tracing(tracer):
+            faulted = run_chain(workers=2, policy=policy)
+        assert faulted == serial_chain
+        totals = total_counters(tracer.finish())
+        assert totals.get("mp.worker_deaths", 0) >= 1
+
+    def test_kill_every_attempt_degrades_to_serial(self, serial_chain):
+        """The full ladder: retries exhaust, splits cannot help (the
+        killer keys on the kind, not the range), the serial twin in the
+        parent finishes the work — and the output is still identical."""
+
+        faulted = run_chain(
+            workers=2,
+            policy=ShardPolicy(
+                worker_probe=_KillAllNodeMax(), max_retries=1, **FAST
+            ),
+        )
+        assert faulted == serial_chain
+
+    def test_typed_worker_error_propagates(self):
+        policy = ShardPolicy(worker_probe=_RaiseTypedAt(seq=1), **FAST)
+        with pytest.raises(InjectedFault) as caught:
+            run_chain(workers=4, policy=policy)
+        assert caught.value.context.get("seq") == 1
+        # The error path tore the fleet down — no orphaned workers.
+        deadline = time.monotonic() + 10.0
+        while multiprocessing.active_children() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert not multiprocessing.active_children()
+
+    def test_budget_retry_cap_is_used(self, serial_chain):
+        # max_shard_retries arrives through governed(), not the policy.
+        tracer = Tracer()
+        budget = Budget(max_shard_retries=0)
+        policy = ShardPolicy(worker_probe=WorkerKiller({0}), **FAST)
+        with tracing(tracer):
+            faulted = run_chain(workers=2, policy=policy, budget=budget)
+        assert faulted == serial_chain
+        totals = total_counters(tracer.finish())
+        # Zero retries allowed: the death goes straight down the ladder.
+        assert totals.get("mp.retries", 0) == 0
+        assert totals.get("mp.worker_deaths", 0) >= 1
+
+    def test_default_retry_cap(self):
+        assert ShardScheduler(2)._resolved_retries() == DEFAULT_MAX_RETRIES
+        with governed(Budget(max_shard_retries=7)):
+            assert ShardScheduler(2)._resolved_retries() == 7
+        assert (
+            ShardScheduler(2, ShardPolicy(max_retries=1))._resolved_retries()
+            == 1
+        )
+
+
+class _KillAllNodeMax:
+    """Kill every node-max attempt, any seq, any attempt, any width."""
+
+    def __call__(self, context):
+        if context.get("kind") == "node-max":
+            import os
+            import signal
+
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+class _RaiseTypedAt:
+    """Raise a typed ReproError inside the worker on one dispatch."""
+
+    def __init__(self, seq):
+        self.seq = seq
+
+    def __call__(self, context):
+        if context.get("seq") == self.seq:
+            raise InjectedFault("typed fault in worker", seq=self.seq)
+
+
+# ---------------------------------------------------------------------------
+# Memory accounting
+# ---------------------------------------------------------------------------
+
+class TestMemoryBudget:
+    # The budget is honored at unit granularity: a single unsplittable
+    # unit larger than the whole budget would be admitted alone (and
+    # flagged with a shard.oversized event), so a *feasible* budget is
+    # one at least as large as the biggest unit estimate — here the
+    # 63-unit node-max suffix of the chain's second step (8064 bytes).
+    BUDGET = 8192
+
+    def test_admission_respects_budget(self, serial_chain):
+        tracer = Tracer()
+        with tracing(tracer):
+            governed_chain = run_chain(
+                workers=4, budget=Budget(max_shard_bytes=self.BUDGET)
+            )
+        assert governed_chain == serial_chain
+        peaks = [
+            record["counters"].get("mp.mem_admitted_peak", 0)
+            for record in spans(tracer.finish())
+        ]
+        # Batch-at-a-time admission: each kernel.map span's total is
+        # that run's in-flight high-water mark, and every run's
+        # high-water mark stays within the configured budget.
+        assert any(peak > 0 for peak in peaks)
+        assert max(peaks) <= self.BUDGET
+
+    def test_unbounded_run_admits_more(self, serial_chain):
+        tracer = Tracer()
+        with tracing(tracer):
+            free = run_chain(workers=4)
+        assert free == serial_chain
+        peaks = [
+            record["counters"].get("mp.mem_admitted_peak", 0)
+            for record in spans(tracer.finish())
+        ]
+        assert max(peaks) > self.BUDGET
+
+    def test_allocation_cap_forces_splits(self, serial_chain):
+        tracer = Tracer()
+        policy = ShardPolicy(
+            worker_probe=AllocationCap(2000),
+            max_inflight_bytes=10**6,  # plan wide shards, then split
+            **FAST,
+        )
+        with tracing(tracer):
+            capped = run_chain(workers=4, policy=policy)
+        assert capped == serial_chain
+        totals = total_counters(tracer.finish())
+        assert totals.get("mp.shard_splits", 0) > 0
+
+
+# ---------------------------------------------------------------------------
+# Spill and resume
+# ---------------------------------------------------------------------------
+
+class TestSpillResume:
+    def test_interrupt_then_resume_byte_identical(self, tmp_path, serial_chain):
+        policy = ShardPolicy(spill_dir=tmp_path, **FAST)
+        injector = FaultInjector(trip_at=8)
+        with pytest.raises(InjectedFault):
+            run_chain(workers=4, policy=policy, budget=Budget(probe=injector))
+        spilled = list(tmp_path.glob("shard-*.json"))
+        assert spilled, "the interrupted run left no finished shards"
+
+        tracer = Tracer()
+        with tracing(tracer):
+            resumed = run_chain(workers=4, policy=policy)
+        assert resumed == serial_chain
+        totals = total_counters(tracer.finish())
+        assert totals.get("mp.spill_loads", 0) >= len(spilled) > 0
+        assert totals.get("mp.spilled_bytes", 0) > 0
+
+    def test_resume_survives_corrupt_spill(self, tmp_path, serial_chain):
+        policy = ShardPolicy(spill_dir=tmp_path, **FAST)
+        first = run_chain(workers=2, policy=policy)
+        assert first == serial_chain
+        victim = sorted(tmp_path.glob("shard-*.json"))[0]
+        corrupt_checkpoint(victim)
+        resumed = run_chain(workers=2, policy=policy)
+        assert resumed == serial_chain
+
+    def test_spilled_files_are_sealed_documents(self, tmp_path, serial_chain):
+        run_chain(workers=2, policy=ShardPolicy(spill_dir=tmp_path, **FAST))
+        for path in tmp_path.glob("shard-*.json"):
+            document = json.loads(path.read_text())
+            assert set(document) == {"sha256", "payload"}
+            assert set(document["payload"]) == {"kind", "lo", "hi", "results"}
+
+
+# ---------------------------------------------------------------------------
+# Trace-graft correctness under retries (no double counting)
+# ---------------------------------------------------------------------------
+
+class TestGraftUnderRetries:
+    def traced_rbar(self, problem, policy):
+        tracer = Tracer()
+        with tracing(tracer):
+            with scheduling(policy):
+                result = Rbar(problem, use_kernel=True, workers=2)
+        return result, tracer.finish()
+
+    @pytest.mark.parametrize(
+        "name,problem",
+        [(name, problem) for name, problem in classic_corpus()[:4]],
+    )
+    def test_retries_do_not_double_count(self, name, problem):
+        reference, clean_records = self.traced_rbar(problem, None)
+        faulted, fault_records = self.traced_rbar(
+            problem, ShardPolicy(worker_probe=WorkerKiller({0, 2}), **FAST)
+        )
+        assert faulted == reference, name
+        validate_trace(fault_records)
+        clean = total_counters(clean_records)
+        noisy = total_counters(fault_records)
+        # Abandoned attempts ship nothing: the per-result counter is
+        # identical to the unfaulted run even though workers died.
+        assert noisy.get("mp.chunk_results") == clean.get("mp.chunk_results")
+        assert noisy.get("mp.chunks") == clean.get("mp.chunks")
+
+    def test_no_duplicate_shard_spans(self):
+        problem = mis_problem(4)
+        _, records = self.traced_rbar(
+            problem, ShardPolicy(worker_probe=WorkerKiller({0, 1}), **FAST)
+        )
+        validate_trace(records)
+        shard_spans = [
+            r for r in spans(records) if r["name"] == "kernel.shard"
+        ]
+        ranges = [
+            (r["attrs"]["kind"], r["attrs"]["lo"], r["attrs"]["hi"])
+            for r in shard_spans
+        ]
+        # One span per *winning* attempt: every (kind, range) at most once.
+        assert len(ranges) == len(set(ranges))
+        # And each shard span wraps exactly one chunk span.
+        chunk_spans = [
+            r for r in spans(records) if r["name"] == "kernel.chunk"
+        ]
+        assert len(chunk_spans) <= len(shard_spans)
+
+    def test_new_counters_are_declared(self):
+        for counter in (
+            "mp.shards",
+            "mp.retries",
+            "mp.worker_deaths",
+            "mp.shard_splits",
+            "mp.spilled_bytes",
+            "mp.spill_loads",
+            "mp.mem_admitted_peak",
+        ):
+            assert counter in TIMING_COUNTERS
+
+
+# ---------------------------------------------------------------------------
+# The pool facade
+# ---------------------------------------------------------------------------
+
+class TestKernelPoolFacade:
+    def test_single_unit_or_serial_pool_returns_none(self):
+        from repro.core.kernel.parallel import KernelPool
+
+        with KernelPool(None) as pool:
+            assert pool.map_chunks("edge-pair", ((), ()), 0, phase="x") is None
+        with KernelPool(1) as pool:
+            assert not pool.usable()
+        with KernelPool(4) as pool:
+            assert (
+                pool.map_chunks("edge-pair", ((3,), (1,)), 1, phase="x")
+                is None
+            )
+
+    def test_ambient_policy_is_picked_up(self, serial_chain):
+        # scheduling() installs the policy; no explicit plumbing needed.
+        tracer = Tracer()
+        with tracing(tracer):
+            chained = run_chain(
+                workers=2,
+                policy=ShardPolicy(worker_probe=WorkerKiller({0}), **FAST),
+            )
+        assert chained == serial_chain
+        # Each speedup in the chain builds its own scheduler (fresh seq
+        # counter), so seq 0 dies once per step.
+        assert (
+            total_counters(tracer.finish()).get("mp.worker_deaths")
+            == MIS_CHAIN_STEPS
+        )
