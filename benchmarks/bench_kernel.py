@@ -15,7 +15,10 @@ a committed trajectory of measured speedups on the Delta=4 MIS chain:
   quick gate also runs a seeded chaos mini-run of the shard scheduler
   (worker killed mid-chain under a memory budget) and fails on any
   semantic drift, missed recovery, or budget overrun, printing the
-  recovered ``mp.retries`` / ``mp.mem_admitted_peak`` counters.
+  recovered ``mp.retries`` / ``mp.mem_admitted_peak`` counters, plus
+  the registry's ``quick`` scenarios (currently the Delta=2 maximal-
+  matching self-reduction — a non-MIS family) on both engines, failing
+  on any expectation drift or cross-engine divergence.
 * ``PYTHONPATH=src python benchmarks/bench_kernel.py --sharded``
   records a ``mode: sharded`` trajectory row for the Delta=5 chain on
   the supervised scheduler: cold (fresh spill directory) and warm
@@ -405,6 +408,48 @@ def record_sharded() -> int:
     return 0
 
 
+def scenario_gate() -> int:
+    """The registry's quick scenarios on both engines; 0 = pass.
+
+    Runs every ``quick=True`` declaration from the scenario registry —
+    chosen to cover at least one non-MIS family cheaply — on the
+    reference and kernel engines and fails on any expectation drift
+    (steps, certified rounds, fixed-point shape) or divergence between
+    the two certified chains.
+    """
+    from repro.scenarios import load_registry, run_scenario
+
+    for decl, spec in load_registry():
+        if not decl.quick:
+            continue
+        reference = run_scenario(spec, use_kernel=False)
+        kernel = run_scenario(spec, use_kernel=True)
+        for engine, run in (("reference", reference), ("kernel", kernel)):
+            if not run.ok:
+                for failure in run.failures:
+                    print(f"  {failure}")
+                print(
+                    f"error: scenario {spec.name} failed expectations "
+                    f"on the {engine} engine",
+                    file=sys.stderr,
+                )
+                return 1
+        if reference.problems != kernel.problems:
+            print(
+                f"error: scenario {spec.name} diverged between engines",
+                file=sys.stderr,
+            )
+            return 1
+        labels = " -> ".join(
+            str(len(problem.alphabet)) for problem in kernel.problems
+        )
+        print(
+            f"scenario gate: {spec.name} steps={kernel.steps} "
+            f"certified={kernel.certified_rounds} labels {labels}"
+        )
+    return 0
+
+
 def quick_gate() -> int:
     """Single measurement vs. the best recorded ratio; 0 = pass.
 
@@ -440,11 +485,17 @@ def quick_gate() -> int:
     failed = chaos_gate()
     if failed:
         return failed
+    failed = scenario_gate()
+    if failed:
+        return failed
     # The trajectory also holds cold/warm cache entries (bench_cache.py)
-    # whose "speedup" measures cache amplification, not the kernel —
-    # only kernel measurements set the regression floor.
+    # and per-scenario rows (bench_scenarios.py) whose "speedup" does
+    # not measure the Delta=4 MIS chain — only plain kernel
+    # measurements set the regression floor.
     kernel_entries = [
-        item["speedup"] for item in trajectory if "kernel_seconds" in item
+        item["speedup"]
+        for item in trajectory
+        if "kernel_seconds" in item and "mode" not in item
     ]
     if not kernel_entries:
         print("no recorded trajectory - nothing to compare against")

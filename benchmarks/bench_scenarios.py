@@ -1,0 +1,200 @@
+"""RE-SCENARIOS: benchmark rows for the declarative scenario library.
+
+Every registered ``.scn`` scenario (see ``src/repro/scenarios``) is a
+certified chain run — MIS, sinkless orientation, maximal matching,
+2-ruling sets, and the Delta=16 lower-bound family — so each one gets
+a trajectory row alongside the Delta=4 MIS chain that
+``bench_kernel.py`` maintains:
+
+* ``PYTHONPATH=src python benchmarks/bench_scenarios.py``
+  measures every scenario (best of 3) on both engines, cross-checks
+  that the chains agree and meet their declared expectations, and
+  *appends* one ``mode: scenario`` row per scenario to
+  ``BENCH_kernel.json``.
+* ``PYTHONPATH=src python benchmarks/bench_scenarios.py --check``
+  single measurement, no recording; exits non-zero on any expectation
+  failure, cross-engine divergence, or semantic-counter drift.
+
+Scenario rows carry ``mode: scenario`` so the kernel quick gate's
+regression floor (which compares Delta=4 MIS chain ratios only) never
+mixes them in.  Failures of any kind exit non-zero with a one-line
+``error:`` diagnostic.
+"""
+
+import json
+import os
+import sys
+import time
+
+from repro.observability.metrics import (
+    diff_semantic_profiles,
+    semantic_profile,
+    total_counters,
+)
+from repro.observability.trace import Tracer, tracing
+from repro.scenarios import ScenarioRun, load_registry, run_scenario
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TRAJECTORY_PATH = os.path.join(REPO_ROOT, "BENCH_kernel.json")
+
+
+# ---------------------------------------------------------------------------
+# Pytest benchmarks
+# ---------------------------------------------------------------------------
+
+def test_quick_scenario_kernel_matches_reference(once):
+    """The registry's quick scenario, timed on the kernel path and
+    cross-checked problem-by-problem against the reference engine."""
+    spec = next(spec for decl, spec in load_registry() if decl.quick)
+    kernel = once(lambda: run_scenario(spec, use_kernel=True))
+    reference = run_scenario(spec, use_kernel=False)
+    assert kernel.ok, kernel.failures
+    assert reference.ok, reference.failures
+    assert kernel.problems == reference.problems
+
+
+def test_every_scenario_meets_expectations(once):
+    """One timed sweep of the full registry on the reference engine."""
+    runs = once(
+        lambda: [run_scenario(spec) for _, spec in load_registry()]
+    )
+    for run in runs:
+        assert run.ok, (run.spec.name, run.failures)
+
+
+# ---------------------------------------------------------------------------
+# Trajectory maintenance (script mode)
+# ---------------------------------------------------------------------------
+
+def _timed(fn) -> float:
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started
+
+
+def _traced_run(spec, *, use_kernel: bool) -> tuple[ScenarioRun, list[dict]]:
+    """One untimed scenario run under a tracer; run + finished records."""
+    tracer = Tracer()
+    with tracing(tracer):
+        run = run_scenario(spec, use_kernel=use_kernel)
+    return run, tracer.finish()
+
+
+def measure_scenario(spec, rounds: int) -> tuple[dict, list[str]]:
+    """Best-of-``rounds`` timings per engine plus the checked outcome.
+
+    Returns the trajectory row and a list of problems (expectation
+    failures, cross-engine divergence, semantic drift); an empty list
+    means the row is good to record.
+    """
+    run_scenario(spec, use_kernel=True)  # warm-up (imports, caches)
+    reference_seconds = min(
+        _timed(lambda: run_scenario(spec, use_kernel=False))
+        for _ in range(rounds)
+    )
+    kernel_seconds = min(
+        _timed(lambda: run_scenario(spec, use_kernel=True))
+        for _ in range(rounds)
+    )
+    reference, reference_records = _traced_run(spec, use_kernel=False)
+    kernel, kernel_records = _traced_run(spec, use_kernel=True)
+    problems: list[str] = []
+    for engine, run in (("reference", reference), ("kernel", kernel)):
+        problems.extend(
+            f"{spec.name} [{engine}]: {failure}" for failure in run.failures
+        )
+    if not problems and reference.problems != kernel.problems:
+        problems.append(f"{spec.name}: engines produced different chains")
+    drift = diff_semantic_profiles(
+        semantic_profile(reference_records), semantic_profile(kernel_records)
+    )
+    problems.extend(f"{spec.name}: {line}" for line in drift)
+    row = {
+        "chain": spec.name.replace("-", "_"),
+        "mode": "scenario",
+        "family": spec.family,
+        "operator": spec.operator,
+        "certified_rounds": kernel.certified_rounds,
+        "reference_seconds": round(reference_seconds, 4),
+        "kernel_seconds": round(kernel_seconds, 4),
+        "speedup": round(reference_seconds / kernel_seconds, 2),
+        "counters": {
+            "reference": total_counters(reference_records),
+            "kernel": total_counters(kernel_records),
+        },
+        "semantic_drift": drift,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    return row, problems
+
+
+def measure_registry(rounds: int) -> tuple[list[dict], list[str]]:
+    rows: list[dict] = []
+    problems: list[str] = []
+    for _, spec in load_registry():
+        row, failures = measure_scenario(spec, rounds=rounds)
+        rows.append(row)
+        problems.extend(failures)
+        print(
+            f"{row['chain']}: speedup {row['speedup']}x "
+            f"(reference {row['reference_seconds']}s, "
+            f"kernel {row['kernel_seconds']}s, "
+            f"certified={row['certified_rounds']})"
+        )
+    return rows, problems
+
+
+def load_trajectory() -> list[dict]:
+    if not os.path.exists(TRAJECTORY_PATH):
+        return []
+    with open(TRAJECTORY_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def record() -> int:
+    rows, problems = measure_registry(rounds=3)
+    if problems:
+        for line in problems:
+            print(f"  {line}")
+        print("error: scenario measurements failed checks", file=sys.stderr)
+        return 1
+    trajectory = load_trajectory()
+    trajectory.extend(rows)
+    with open(TRAJECTORY_PATH, "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"recorded {len(rows)} scenario rows; trajectory length: "
+        f"{len(trajectory)} ({TRAJECTORY_PATH})"
+    )
+    return 0
+
+
+def check() -> int:
+    _, problems = measure_registry(rounds=1)
+    if problems:
+        for line in problems:
+            print(f"  {line}")
+        print("error: scenario checks failed", file=sys.stderr)
+        return 1
+    print("PASS")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    checking = False
+    for argument in argv:
+        if argument == "--check":
+            checking = True
+        else:
+            print(f"error: unknown option {argument}", file=sys.stderr)
+            return 2
+    try:
+        return check() if checking else record()
+    except Exception as error:  # any measurement failure must exit non-zero
+        print(f"error: benchmark failed: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

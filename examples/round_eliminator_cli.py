@@ -1,7 +1,7 @@
 """A tiny round-eliminator CLI, in the spirit of Olivetti's tool [36].
 
 Run:  python examples/round_eliminator_cli.py [steps] [--kernel [--workers N]]
-          [--max-retries N] [--shard-bytes N] [--spill DIR]
+          [--self-reduce] [--max-retries N] [--shard-bytes N] [--spill DIR]
           [--cache] [--trace out.jsonl] [--metrics]
 
 Reads a problem from stdin in the paper's condensed syntax — node
@@ -9,6 +9,9 @@ configurations, a blank line, then edge configurations — and applies
 the requested number of Rbar(R(.)) speedup steps, printing the renamed
 problem and its diagrams after each.  Press Ctrl-D (EOF) after the edge
 constraint.  With no stdin input, demonstrates on sinkless orientation.
+``--self-reduce`` applies the Khoury-Schild self-reduction
+``condense(speedup(condense(.)))`` instead of the plain speedup at each
+step, and reports when the chain hits an isomorphism fixed point.
 ``--kernel`` routes the operators through the interned bitmask fast
 path (identical output, measured in benchmarks/bench_kernel.py), and
 ``--workers N`` additionally parallelizes the Rbar maximization DFS
@@ -43,6 +46,7 @@ from repro.core.diagram import edge_diagram, node_diagram
 from repro.core.kernel.sharding import ShardPolicy, scheduling
 from repro.core.problem import Problem
 from repro.core.round_elimination import speedup
+from repro.core.self_reduction import self_reduce
 from repro.core.solvability import zero_round_solvable_pn
 from repro.observability.cli import cli_tracing
 from repro.problems.classic import sinkless_orientation_problem
@@ -87,6 +91,7 @@ def main() -> None:
     trace_path = None
     metrics = False
     use_cache = False
+    use_self_reduce = False
     positional: list[str] = []
     index = 0
     while index < len(arguments):
@@ -116,6 +121,8 @@ def main() -> None:
             metrics = True
         elif argument == "--cache":
             use_cache = True
+        elif argument == "--self-reduce":
+            use_self_reduce = True
         elif argument.startswith("-"):
             raise SystemExit(f"error: unknown option {argument}")
         else:
@@ -170,9 +177,15 @@ def main() -> None:
             print()
             if step_index == steps:
                 break
-            problem = speedup(
-                problem, use_kernel=use_kernel, workers=workers
-            ).problem
+            if use_self_reduce:
+                step = self_reduce(problem, use_kernel=use_kernel, workers=workers)
+                if step.fixed_point:
+                    print("(self-reduction fixed point: the chain repeats from here)")
+                problem = step.problem
+            else:
+                problem = speedup(
+                    problem, use_kernel=use_kernel, workers=workers
+                ).problem
             problem.name = f"step {step_index + 1}"
     if store is not None:
         print(store.summary_line())

@@ -404,6 +404,67 @@ def cached_problem_operator(
     return result
 
 
+def _encode_condensation(result: Problem, index: dict) -> dict:
+    """A condensation result in the input's canonical coordinates.
+
+    Unlike :func:`_encode_result`, the labels of a condensed problem
+    are (surviving) *input* labels, so the payload stores their
+    canonical ids directly rather than id sets.
+    """
+    def constraint_rows(constraint: Constraint) -> list[list[int]]:
+        return sorted(
+            sorted(index[label] for label in configuration.items)
+            for configuration in constraint.configurations
+        )
+
+    return {
+        "labels": sorted(index[label] for label in result.alphabet),
+        "node": constraint_rows(result.node_constraint),
+        "edge": constraint_rows(result.edge_constraint),
+    }
+
+
+def _decode_condensation(payload: dict, problem: Problem, order: tuple) -> Problem:
+    survivors = frozenset(order[label_id] for label_id in payload["labels"])
+    sigma = [label for label in problem.alphabet if label in survivors]
+    node = Constraint(
+        Configuration(order[label_id] for label_id in row)
+        for row in payload["node"]
+    )
+    edge = Constraint(
+        Configuration(order[label_id] for label_id in row)
+        for row in payload["edge"]
+    )
+    return Problem(Alphabet(sigma), node, edge, name=problem.name)
+
+
+def cached_condensation(
+    problem: Problem, compute: Callable[[], Problem]
+) -> Problem:
+    """Memoize :func:`repro.core.self_reduction.condense_problem`.
+
+    The condensation keeps a subset of the *input* labels (it never
+    invents set labels), so the payload stores surviving canonical ids
+    plus the restricted constraint rows; a hit transports them back
+    through the inverse canonical order and re-sorts the alphabet in
+    the input problem's own order — byte-identical to a cold run, which
+    is sound because every condensation decision is keyed by canonical
+    ids (the operator is a pure function of the canonical encoding).
+    """
+    cache = active_cache()
+    if cache is None:
+        return compute()
+    form = canonical_form(problem)
+    key = cache_key("condense", form.digest)
+    payload = cache.lookup(key)
+    if payload is not None:
+        return _decode_condensation(payload, problem, form.order)
+    result = compute()
+    index = {label: position for position, label in enumerate(form.order)}
+    cache.store(key, _encode_condensation(result, index))
+    return result
+
+
 def cached_verdict(
     operator: str, problem: Problem, compute: Callable[[], bool]
 ) -> bool:
@@ -479,6 +540,7 @@ __all__ = [
     "caching",
     "cache_key",
     "cached_problem_operator",
+    "cached_condensation",
     "cached_verdict",
     "cached_relabeling",
 ]

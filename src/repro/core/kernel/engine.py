@@ -76,6 +76,7 @@ class KernelProblem:
         "node_config_set",
         "_partner_cache",
         "_closed_sets",
+        "_node_ge",
         "_node_strict_successors",
         "_node_right_closed",
         "_node_prefix_closure",
@@ -100,6 +101,7 @@ class KernelProblem:
         self.node_config_set = frozenset(self.node_configs)
         self._partner_cache: dict[int, int] = {}
         self._closed_sets: tuple[int, ...] | None = None
+        self._node_ge: list[int] | None = None
         self._node_strict_successors: list[int] | None = None
         self._node_right_closed: tuple[int, ...] | None = None
         self._node_prefix_closure: frozenset[int] | None = None
@@ -160,11 +162,13 @@ class KernelProblem:
 
     # -- Node strength relation and right-closed sets --------------------
 
-    def node_strict_successors(self) -> list[int]:
-        """``successors[i]`` = mask of labels strictly stronger than i
-        w.r.t. the node constraint (the diagram of Observation 4)."""
-        if self._node_strict_successors is not None:
-            return self._node_strict_successors
+    def node_ge_masks(self) -> list[int]:
+        """``ge[weak]`` = mask of labels at least as strong as ``weak``
+        w.r.t. the node constraint (the full replacement-test preorder,
+        reflexive and including equivalences — the mask twin of
+        :meth:`repro.core.diagram.Diagram.at_least_as_strong`)."""
+        if self._node_ge is not None:
+            return self._node_ge
         n = self.n
         containing: list[list[tuple[int, ...]]] = [[] for _ in range(n)]
         for configuration in self.node_configs:
@@ -186,13 +190,43 @@ class KernelProblem:
                         ok = False
                         break
                 ge[strong][weak] = ok
+        self._node_ge = [
+            mask_from_ids(strong for strong in range(n) if ge[strong][weak])
+            for weak in range(n)
+        ]
+        return self._node_ge
+
+    def edge_ge_masks(self) -> list[int]:
+        """``ge[weak]`` = mask of labels at least as strong as ``weak``
+        w.r.t. the edge constraint.
+
+        For arity 2 the replacement test collapses to compatible-set
+        containment: ``strong >= weak`` iff every partner of ``weak``
+        is a partner of ``strong`` (this also covers replacing one end
+        of an allowed ``weak weak`` pair).
+        """
+        return [
+            mask_from_ids(
+                strong
+                for strong in range(self.n)
+                if is_subset(self.compat[weak], self.compat[strong])
+            )
+            for weak in range(self.n)
+        ]
+
+    def node_strict_successors(self) -> list[int]:
+        """``successors[i]`` = mask of labels strictly stronger than i
+        w.r.t. the node constraint (the diagram of Observation 4)."""
+        if self._node_strict_successors is not None:
+            return self._node_strict_successors
+        ge = self.node_ge_masks()
         successors = [
             mask_from_ids(
                 strong
-                for strong in range(n)
-                if strong != weak and ge[strong][weak] and not ge[weak][strong]
+                for strong in iter_bits(ge[weak])
+                if strong != weak and not ge[strong] & bit(weak)
             )
-            for weak in range(n)
+            for weak in range(self.n)
         ]
         self._node_strict_successors = successors
         return successors

@@ -1,4 +1,4 @@
-"""The project-invariant rule catalogue, RL001 through RL008.
+"""The project-invariant rule catalogue, RL001 through RL009.
 
 Each rule guards one convention the engine's correctness story leans
 on but that nothing else checks mechanically:
@@ -20,6 +20,11 @@ on but that nothing else checks mechanically:
 * RL007 — no stray ``print`` outside the user-facing script dirs.
 * RL008 — public ``core``/``lowerbound`` API is fully annotated (the
   contract ``mypy``'s strict tier then type-checks).
+* RL009 — every registered scenario (:mod:`repro.scenarios`) declares
+  its test-substrate wiring: a non-empty oracle-corpus entry, a
+  non-empty golden trace case, and a ``.scn`` spec filename.  A
+  scenario outside the differential and golden gates is an untested
+  workload pretending otherwise.
 
 Rules are pure AST passes over one file at a time; scope is decided
 from the file's path parts so the same rule set runs identically over
@@ -118,6 +123,11 @@ def _in_public_api_dirs(parts: tuple[str, ...]) -> bool:
 def _is_errors_module(parts: tuple[str, ...]) -> bool:
     inner = _repro_parts(parts)
     return inner[-2:] == ("robustness", "errors.py")
+
+
+def _in_scenarios(parts: tuple[str, ...]) -> bool:
+    inner = _repro_parts(parts)
+    return bool(inner) and inner[0] == "scenarios"
 
 
 # ---------------------------------------------------------------------------
@@ -567,6 +577,66 @@ def _check_rl008(context: FileContext) -> Iterator[Violation]:
 
 
 # ---------------------------------------------------------------------------
+# RL009 — scenario registrations carry their test-substrate wiring
+# ---------------------------------------------------------------------------
+
+#: ScenarioDecl's positional field order (mirrors the dataclass).
+_SCENARIO_DECL_FIELDS = ("spec", "oracle_corpus", "golden", "quick")
+
+
+def _check_rl009(context: FileContext) -> Iterator[Violation]:
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name != "ScenarioDecl":
+            continue
+        fields: dict[str, ast.expr] = {}
+        for position, argument in enumerate(node.args):
+            if position < len(_SCENARIO_DECL_FIELDS):
+                fields[_SCENARIO_DECL_FIELDS[position]] = argument
+        for keyword in node.keywords:
+            if keyword.arg is not None:
+                fields[keyword.arg] = keyword.value
+        spec = fields.get("spec")
+        spec_name = (
+            spec.value
+            if isinstance(spec, ast.Constant) and isinstance(spec.value, str)
+            else None
+        )
+        label = spec_name or "<unknown spec>"
+        for field in ("oracle_corpus", "golden"):
+            value = fields.get(field)
+            if value is None:
+                yield _violation(
+                    context, node, "RL009",
+                    f"scenario {label} does not declare {field!r}: every "
+                    "registered scenario must name its oracle-corpus entry "
+                    "and its golden trace case (the differential and "
+                    "golden gates key on them)",
+                )
+            elif isinstance(value, ast.Constant) and (
+                not isinstance(value.value, str) or not value.value
+            ):
+                yield _violation(
+                    context, node, "RL009",
+                    f"scenario {label} declares an empty {field!r}; name "
+                    "a real oracle-corpus entry / golden case",
+                )
+        if spec_name is not None and not spec_name.endswith(".scn"):
+            yield _violation(
+                context, node, "RL009",
+                f"scenario spec filename {spec_name!r} must end in '.scn' "
+                "(the declarative spec format under scenarios/)",
+            )
+
+
+# ---------------------------------------------------------------------------
 # The catalogue
 # ---------------------------------------------------------------------------
 
@@ -649,6 +719,16 @@ RULES: Sequence[Rule] = (
         ),
         applies=_in_public_api_dirs,
         check=_check_rl008,
+    ),
+    Rule(
+        code="RL009",
+        name="scenario-substrate",
+        summary=(
+            "every registered scenario declares a non-empty "
+            "oracle-corpus entry, golden trace case, and .scn spec"
+        ),
+        applies=_in_scenarios,
+        check=_check_rl009,
     ),
 )
 

@@ -47,6 +47,9 @@ SEMANTIC_COUNTERS = (
     "edge.configs.out",
     "condensed.configs",
     "chain.steps",
+    "selfred.merged_labels",
+    "selfred.removed_labels",
+    "selfred.steps",
 )
 
 #: Engine/runtime-dependent counters: excluded from differential diffs.

@@ -6,6 +6,10 @@
   relaxed Pi_rel used inside Lemma 8's proof.
 * :mod:`repro.problems.classic` — classics used as engine cross-checks
   (sinkless orientation, colorings, perfect matching).
+* :mod:`repro.problems.ruling_set` — depth-parameterized ruling sets
+  (depth 1 is exactly MIS), after Balliu-Brandt-Olivetti.
+* :mod:`repro.problems.matching` — maximal matching, the base problem
+  of the Khoury-Schild self-reduction.
 """
 
 from repro.problems.mis import mis_problem
@@ -20,6 +24,8 @@ from repro.problems.classic import (
     perfect_matching_problem,
     sinkless_orientation_problem,
 )
+from repro.problems.matching import maximal_matching_problem
+from repro.problems.ruling_set import ruling_set_problem
 
 __all__ = [
     "mis_problem",
@@ -30,4 +36,6 @@ __all__ = [
     "coloring_problem",
     "perfect_matching_problem",
     "sinkless_orientation_problem",
+    "maximal_matching_problem",
+    "ruling_set_problem",
 ]

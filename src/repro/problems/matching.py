@@ -1,0 +1,40 @@
+"""Maximal matching in the round-elimination formalism.
+
+The self-reduction route to maximal-matching lower bounds
+(Khoury-Schild, arXiv 2505.15654) iterates a round-elimination step
+followed by a complexity-preserving condensation; this module supplies
+the base problem the :mod:`repro.core.self_reduction` operator is
+exercised on.
+
+Matched nodes output ``M`` on their matched edge and ``O`` elsewhere;
+unmatched nodes output ``P`` everywhere.  The edge constraint allows
+``MM`` (both endpoints agree on the matched edge), ``OO`` (an edge
+between two matched nodes), and ``OP`` (a matched node next to an
+unmatched one), and forbids ``PP`` — two adjacent unmatched nodes would
+contradict maximality.  The problem is 0-round solvable on
+symmetric-port instances (match along the first port) but not in the
+general port-numbering model, so scenarios over it verify under the
+``pn`` policy.
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import Problem
+from repro.robustness.errors import InvalidProblem
+
+
+def maximal_matching_problem(delta: int) -> Problem:
+    """The maximal matching problem on Delta-regular graphs.
+
+    Node constraint: ``M O^(Delta-1)`` and ``P^Delta``.
+    Edge constraint: ``M M``, ``O [OP]``.
+    """
+    if delta < 2:
+        raise InvalidProblem(
+            "maximal matching in this formalism needs delta >= 2", delta=delta
+        )
+    return Problem.from_text(
+        node_lines=[f"M O^{delta - 1}" if delta > 2 else "M O", f"P^{delta}"],
+        edge_lines=["M M", "O [OP]"],
+        name=f"MaximalMatching(delta={delta})",
+    )

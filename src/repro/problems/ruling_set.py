@@ -1,0 +1,79 @@
+"""Ruling sets in the round-elimination formalism.
+
+A *2-ruling set* is an independent set S such that every node is within
+distance 2 of S; it interpolates between MIS (distance 1) and sparser
+dominating structures, and its round-elimination lower bound is the
+subject of Balliu-Brandt-Olivetti (arXiv 2004.08282).  The encoding
+generalizes the MIS encoding by a depth-indexed pointer chain: a node
+at distance ``i`` from S points (label ``P_i``) at a neighbor of
+distance ``i - 1`` and outputs the level's filler label ``O_i``
+elsewhere.  Depth 1 is *exactly* the MIS problem (same labels, same
+constraints), which the property tests pin down.
+"""
+
+from __future__ import annotations
+
+from repro.core.configurations import Configuration
+from repro.core.constraints import Constraint
+from repro.core.problem import Problem
+from repro.robustness.errors import InvalidProblem
+
+#: Pointer/filler label names per depth level.  The first two levels
+#: reuse the paper-style single characters (level 1 matches the MIS
+#: alphabet literally); deeper levels fall back to indexed names.
+_LEVEL_NAMES = (("P", "O"), ("Q", "Z"))
+
+
+def _level_labels(level: int) -> tuple[str, str]:
+    if level <= len(_LEVEL_NAMES):
+        return _LEVEL_NAMES[level - 1]
+    return (f"P{level}", f"O{level}")
+
+
+def ruling_set_problem(delta: int, depth: int = 2) -> Problem:
+    """The ``depth``-ruling-set problem on Delta-regular graphs.
+
+    Node constraint: ``M^Delta`` (in the set) plus one configuration
+    ``P_i O_i^(Delta-1)`` per level ``1 <= i <= depth`` (at distance
+    ``i``, pointing at a distance-``i-1`` neighbor).  Edge constraint:
+    ``M [P_1 O_1]`` (independence: no ``MM``), each level's filler
+    pairs with itself and with the next level (``O_i O_i``,
+    ``O_i P_{i+1}``, ``O_i O_{i+1}``), and the deepest filler is
+    self-compatible (``O_depth O_depth``).
+
+    ``ruling_set_problem(delta, 1)`` equals ``mis_problem(delta)``.
+    """
+    if delta < 2:
+        raise InvalidProblem(
+            "ruling sets in this formalism need delta >= 2", delta=delta
+        )
+    if depth < 1:
+        raise InvalidProblem("ruling-set depth must be >= 1", depth=depth)
+    node_rows: list[Configuration] = [Configuration(("M",) * delta)]
+    for level in range(1, depth + 1):
+        pointer, filler = _level_labels(level)
+        node_rows.append(
+            Configuration((pointer,) + (filler,) * (delta - 1))
+        )
+    first_pointer, first_filler = _level_labels(1)
+    edge_rows: list[Configuration] = [
+        Configuration(("M", first_pointer)),
+        Configuration(("M", first_filler)),
+    ]
+    for level in range(1, depth):
+        _, filler = _level_labels(level)
+        next_pointer, next_filler = _level_labels(level + 1)
+        edge_rows.append(Configuration((filler, filler)))
+        edge_rows.append(Configuration((filler, next_pointer)))
+        edge_rows.append(Configuration((filler, next_filler)))
+    _, deepest_filler = _level_labels(depth)
+    edge_rows.append(Configuration((deepest_filler, deepest_filler)))
+    alphabet = ["M"]
+    for level in range(1, depth + 1):
+        alphabet.extend(_level_labels(level))
+    return Problem(
+        alphabet,
+        Constraint(node_rows),
+        Constraint(edge_rows),
+        name=f"RulingSet(delta={delta}, depth={depth})",
+    )

@@ -42,6 +42,9 @@ working:
 * :class:`InvalidTrace` (also a ``ValueError``) — a trace file or
   record violates the versioned JSON-lines schema of
   :mod:`repro.observability.schema`.
+* :class:`InvalidScenario` (also a ``ValueError``) — a declarative
+  scenario spec (:mod:`repro.scenarios`) failed to parse, or names a
+  problem family, operator, or parameter set the loaders reject.
 * :class:`RetryExhausted` (a :class:`BudgetExceeded`, hence also a
   ``RuntimeError``) — a bounded retry or round loop ran out of
   attempts: the configuration-model generator found no simple graph,
@@ -106,6 +109,15 @@ class InvalidTrace(ReproError, ValueError):
     """A trace record or file violates the JSON-lines trace schema."""
 
 
+class InvalidScenario(ReproError, ValueError):
+    """A scenario spec is malformed, or names an unknown family/operator.
+
+    Raised by :mod:`repro.scenarios` when a ``.scn`` file fails to
+    parse, references a problem family or chain operator the loader
+    does not know, or carries parameters the family builder rejects.
+    """
+
+
 class RetryExhausted(BudgetExceeded):
     """A bounded retry or round loop ran out of attempts.
 
@@ -126,5 +138,6 @@ __all__ = [
     "EngineMisuse",
     "InvalidGraph",
     "InvalidTrace",
+    "InvalidScenario",
     "RetryExhausted",
 ]

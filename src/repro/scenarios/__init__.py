@@ -1,0 +1,55 @@
+"""Declarative LCL workloads: scenario specs, registry, and runner.
+
+A *scenario* is a small ``.scn`` file under the repo-level
+``scenarios/`` directory naming a problem family, its parameters, the
+chain operator to iterate (plain ``speedup``, the Khoury-Schild
+``self-reduce``, or the paper's ``lemma13`` chain), how many steps to
+take, what shape to expect (``bounded`` or ``fixed-point``), the exact
+certified round count, and the zero-round verification policy (``pn``
+or ``symmetric``).  The loaders resolve a spec into a
+:class:`~repro.core.problem.Problem` plus a certified chain run, and
+every registered scenario also declares its oracle-corpus entry and
+golden case (enforced by lint rule RL009), so new families join the
+differential and golden test substrate by registration alone.
+
+* :mod:`repro.scenarios.spec` — the YAML-lite format: parse and the
+  byte-identical canonical renderer.
+* :mod:`repro.scenarios.registry` — the declaration table and spec
+  file resolution.
+* :mod:`repro.scenarios.runner` — family builders and the chain
+  runner with expectation checking.
+"""
+
+from repro.scenarios.registry import (
+    SCENARIO_DIR,
+    SCENARIOS,
+    ScenarioDecl,
+    find_scenario,
+    load_registry,
+    load_spec,
+    spec_path,
+)
+from repro.scenarios.runner import (
+    FAMILY_BUILDERS,
+    ScenarioRun,
+    build_problem,
+    run_scenario,
+)
+from repro.scenarios.spec import ScenarioSpec, parse_spec, render_spec
+
+__all__ = [
+    "ScenarioSpec",
+    "parse_spec",
+    "render_spec",
+    "ScenarioDecl",
+    "SCENARIOS",
+    "SCENARIO_DIR",
+    "spec_path",
+    "load_spec",
+    "load_registry",
+    "find_scenario",
+    "FAMILY_BUILDERS",
+    "ScenarioRun",
+    "build_problem",
+    "run_scenario",
+]

@@ -1,0 +1,111 @@
+"""The scenario registry: every workload the repo certifies.
+
+Each :class:`ScenarioDecl` names one ``.scn`` file under the repo-level
+``scenarios/`` directory together with the test substrate the scenario
+is wired into: the oracle-corpus entry its base problem lives under and
+the golden trace case that pins its operator run.  Lint rule RL009
+checks both declarations against :mod:`tests.oracle` and
+``tools/regen_golden.py``, so a scenario cannot be registered without
+also joining the differential and golden gates.
+
+A declaration may point at an *existing* classic corpus entry instead
+of introducing a new one — the lemma13 chain scenario does this, since
+its Delta=16 base problem is far too expensive for the differential
+speedup corpus, which already covers the same family at small Delta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.robustness.errors import InvalidScenario
+from repro.scenarios.spec import ScenarioSpec, parse_spec
+
+#: Repo-level directory holding the ``.scn`` spec files.
+SCENARIO_DIR = Path(__file__).resolve().parents[3] / "scenarios"
+
+
+@dataclass(frozen=True)
+class ScenarioDecl:
+    """One registered scenario and its test-substrate wiring."""
+
+    spec: str             #: filename under :data:`SCENARIO_DIR`
+    oracle_corpus: str    #: oracle-corpus entry covering the base problem
+    golden: str           #: golden trace case pinning the operator run
+    quick: bool = False   #: included in the quick benchmark gate
+
+
+#: The registry.  Order is presentation order in CLIs and reports.
+SCENARIOS: tuple[ScenarioDecl, ...] = (
+    ScenarioDecl(
+        spec="mis3_speedup.scn",
+        oracle_corpus="mis3",
+        golden="mis3_speedup",
+    ),
+    ScenarioDecl(
+        spec="sinkless_orientation3_selfreduce.scn",
+        oracle_corpus="sinkless_orientation3",
+        golden="sinkless_orientation3_selfreduce",
+    ),
+    ScenarioDecl(
+        spec="maximal_matching2_selfreduce.scn",
+        oracle_corpus="maximal_matching2",
+        golden="maximal_matching2_selfreduce",
+        quick=True,
+    ),
+    ScenarioDecl(
+        spec="ruling_set2_2_selfreduce.scn",
+        oracle_corpus="ruling_set2_2",
+        golden="ruling_set2_2_selfreduce",
+    ),
+    ScenarioDecl(
+        spec="family16_lemma13.scn",
+        oracle_corpus="family431",
+        golden="family320_speedup",
+    ),
+)
+
+
+def spec_path(decl: ScenarioDecl) -> Path:
+    """Absolute path of a declaration's ``.scn`` file."""
+    return SCENARIO_DIR / decl.spec
+
+
+def load_spec(decl: ScenarioDecl) -> ScenarioSpec:
+    """Read and parse a declaration's spec file."""
+    path = spec_path(decl)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise InvalidScenario(
+            f"cannot read scenario spec: {error}", spec=decl.spec
+        ) from error
+    return parse_spec(text, source=str(path))
+
+
+def load_registry() -> list[tuple[ScenarioDecl, ScenarioSpec]]:
+    """All registered scenarios with their parsed specs, registry order."""
+    return [(decl, load_spec(decl)) for decl in SCENARIOS]
+
+
+def find_scenario(name: str) -> tuple[ScenarioDecl, ScenarioSpec]:
+    """Look a scenario up by its spec ``name`` field."""
+    for decl, spec in load_registry():
+        if spec.name == name:
+            return decl, spec
+    known = ", ".join(spec.name for _, spec in load_registry())
+    raise InvalidScenario(
+        f"unknown scenario {name!r} (registered: {known})"
+    )
+
+
+__all__ = [
+    "SCENARIO_DIR",
+    "SCENARIOS",
+    "ScenarioDecl",
+    "spec_path",
+    "load_spec",
+    "load_registry",
+    "find_scenario",
+]

@@ -1,0 +1,26 @@
+"""RL009 fixture: fully wired scenario registrations."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScenarioDecl:
+    spec: str
+    oracle_corpus: str = ""
+    golden: str = ""
+    quick: bool = False
+
+
+SCENARIOS = (
+    ScenarioDecl(
+        spec="mis3_speedup.scn",
+        oracle_corpus="mis3",
+        golden="mis3_speedup",
+    ),
+    ScenarioDecl(
+        spec="maximal_matching2_selfreduce.scn",
+        oracle_corpus="maximal_matching2",
+        golden="maximal_matching2_selfreduce",
+        quick=True,
+    ),
+)

@@ -1,0 +1,16 @@
+"""RL009 fixture: the violation under an explicit suppression."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScenarioDecl:
+    spec: str
+    oracle_corpus: str = ""
+    golden: str = ""
+    quick: bool = False
+
+
+SCENARIOS = (
+    ScenarioDecl(spec="orphan_family.scn"),  # reprolint: disable=RL009 -- wiring lands in the next change
+)

@@ -1,0 +1,23 @@
+"""RL009 fixture: scenario registrations missing their test wiring."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScenarioDecl:
+    spec: str
+    oracle_corpus: str = ""
+    golden: str = ""
+    quick: bool = False
+
+
+SCENARIOS = (
+    # Missing golden and an empty oracle-corpus entry.
+    ScenarioDecl(spec="orphan_family.scn", oracle_corpus=""),
+    # Spec filename is not a .scn file.
+    ScenarioDecl(
+        spec="typo_family.yaml",
+        oracle_corpus="typo_family",
+        golden="typo_family_speedup",
+    ),
+)

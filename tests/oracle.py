@@ -7,10 +7,16 @@ reimplements.  This module provides the corpus and the comparison
 helpers the differential tests run over:
 
 * a corpus of classic problems, small :math:`\\Pi_\\Delta(a, x)` family
-  instances, and seeded random constraint systems;
+  instances, base problems of registered scenarios
+  (:mod:`repro.scenarios`), and seeded random constraint systems;
 * ``differential_*`` checks that run reference and kernel side by side
   and assert agreement, including agreement on *failure* (both raise
   :class:`InvalidProblem`, or neither does).
+
+The corpus is parameterized by the scenario registry: registering a
+scenario whose ``oracle_corpus`` names a fresh entry adds its base
+problem to :func:`full_corpus` automatically, so a new family joins
+every differential gate without touching this file.
 
 The single sanctioned divergence: ``find_label_relabeling`` may return
 a *different* witness map from the two engines (both backtrack, in
@@ -27,6 +33,7 @@ from repro.core.configurations import Configuration
 from repro.core.problem import Problem
 from repro.core.relaxation import find_label_relabeling
 from repro.core.round_elimination import R, Rbar, rename_to_strings
+from repro.core.self_reduction import self_reduce
 from repro.core.solvability import (
     zero_round_solvable_pn,
     zero_round_solvable_symmetric,
@@ -56,6 +63,27 @@ def classic_corpus() -> list[tuple[str, Problem]]:
         ("family320", family_problem(3, 2, 0)),
         ("family431", family_problem(4, 3, 1)),
         ("family441", family_problem(4, 4, 1)),
+    ]
+
+
+def scenario_corpus() -> list[tuple[str, Problem]]:
+    """Base problems of registered scenarios not already covered above.
+
+    A scenario whose ``oracle_corpus`` declaration names an existing
+    classic entry is covered there and skipped — the Delta=16 lemma13
+    chain start does this, since one differential speedup on it is far
+    too expensive while the classics already cover its family at small
+    Delta.  Every other scenario contributes its base problem under its
+    declared corpus name.
+    """
+    from repro.scenarios import load_registry
+    from repro.scenarios.runner import build_problem
+
+    classics = {name for name, _ in classic_corpus()}
+    return [
+        (decl.oracle_corpus, build_problem(spec))
+        for decl, spec in load_registry()
+        if decl.oracle_corpus not in classics
     ]
 
 
@@ -104,8 +132,8 @@ def random_corpus(seed: int, count: int) -> list[tuple[str, Problem]]:
 
 
 def full_corpus(seed: int = 20210726, random_count: int = 12) -> list[tuple[str, Problem]]:
-    """The whole differential corpus: classics + family + random."""
-    return classic_corpus() + random_corpus(seed, random_count)
+    """The whole differential corpus: classics + scenarios + random."""
+    return classic_corpus() + scenario_corpus() + random_corpus(seed, random_count)
 
 
 # ---------------------------------------------------------------------------
@@ -170,6 +198,33 @@ def differential_speedup(name: str, problem: Problem) -> None:
         return
     renamed = rename_to_strings(intermediate).problem
     differential_Rbar(f"{name} renamed", renamed)
+
+
+def differential_self_reduction(name: str, problem: Problem) -> None:
+    """One ``condense(speedup(condense(.)))`` step agrees between engines.
+
+    Checks the condensed input, the final reduced problem (values *and*
+    alphabet order — the cache transport depends on it), and the
+    fixed-point verdict.
+    """
+    reference = _outcome(self_reduce, problem)
+    kernel = _outcome(self_reduce, problem, use_kernel=True)
+    if isinstance(reference, tuple) or isinstance(kernel, tuple):
+        assert_same_outcome(f"self_reduce({name})", reference, kernel)
+        return
+    for stage in ("condensed", "problem"):
+        reference_stage = getattr(reference, stage)
+        kernel_stage = getattr(kernel, stage)
+        assert_same_outcome(
+            f"self_reduce({name}).{stage}", reference_stage, kernel_stage
+        )
+        assert tuple(reference_stage.alphabet) == tuple(kernel_stage.alphabet), (
+            f"self_reduce({name}).{stage}: alphabet order differs: "
+            f"{reference_stage.alphabet!r} vs {kernel_stage.alphabet!r}"
+        )
+    assert reference.fixed_point == kernel.fixed_point, (
+        f"self_reduce({name}): fixed-point verdict disagrees"
+    )
 
 
 def differential_zero_round(name: str, problem: Problem) -> None:

@@ -1,11 +1,13 @@
 """Golden-file tests for the round-elimination operators.
 
-Each golden under ``tests/golden/`` pins the canonical JSON of one full
-speedup step ``Rbar(R(P))`` for a fixed input (MIS Delta=3 — the
-paper's Fig. 1 chain start — sinkless orientation, and one
-Pi_Delta(a, x) family instance).  The tests recompute the step with the
-reference engine *and* the kernel fast path and require byte-for-byte
-equality, failing with a unified diff.  Regenerate intentionally with
+Each golden under ``tests/golden/`` pins the canonical JSON of one
+operator application — a full speedup step ``Rbar(R(P))`` or the
+Khoury-Schild self-reduction — for a fixed input: the static classics
+(MIS Delta=3, sinkless orientation, one Pi_Delta(a, x) family
+instance) plus one derived case per registered scenario with a fresh
+golden name.  The tests recompute each case with the reference engine
+*and* the kernel fast path and require byte-for-byte equality, failing
+with a unified diff.  Regenerate intentionally with
 ``PYTHONPATH=src python tools/regen_golden.py``.
 """
 
@@ -19,10 +21,9 @@ sys.path.insert(
     0, os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 )
 
-from tools.regen_golden import GOLDEN_CASES, GOLDEN_DIR
+from tools.regen_golden import GOLDEN_CASES, GOLDEN_DIR, apply_operator
 
 from repro.core.io import problem_to_json
-from repro.core.round_elimination import speedup
 
 CASE_NAMES = sorted(GOLDEN_CASES)
 
@@ -53,16 +54,19 @@ def assert_matches_golden(name: str, actual: str, engine: str) -> None:
 
 
 @pytest.mark.parametrize("name", CASE_NAMES)
-def test_speedup_matches_golden_reference(name):
-    problem = GOLDEN_CASES[name]()
-    actual = problem_to_json(speedup(problem).problem) + "\n"
+def test_operator_matches_golden_reference(name):
+    factory, operator = GOLDEN_CASES[name]
+    actual = problem_to_json(apply_operator(factory, operator)) + "\n"
     assert_matches_golden(name, actual, "reference")
 
 
 @pytest.mark.parametrize("name", CASE_NAMES)
-def test_speedup_matches_golden_kernel(name):
-    problem = GOLDEN_CASES[name]()
-    actual = problem_to_json(speedup(problem, use_kernel=True).problem) + "\n"
+def test_operator_matches_golden_kernel(name):
+    factory, operator = GOLDEN_CASES[name]
+    actual = (
+        problem_to_json(apply_operator(factory, operator, use_kernel=True))
+        + "\n"
+    )
     assert_matches_golden(name, actual, "kernel")
 
 
@@ -70,7 +74,25 @@ def test_goldens_are_current():
     """regen_golden would be a no-op: files on disk match the generator."""
     from tools.regen_golden import golden_text
 
-    for name, factory in GOLDEN_CASES.items():
-        assert read_golden(name) == golden_text(factory), (
+    for name, (factory, operator) in GOLDEN_CASES.items():
+        assert read_golden(name) == golden_text(factory, operator), (
             f"{name}.json is stale - run tools/regen_golden.py and review the diff"
+        )
+
+
+def test_no_orphaned_goldens():
+    """Every committed golden file is referenced by a case."""
+    from tools.regen_golden import _orphans
+
+    assert _orphans(GOLDEN_CASES) == []
+
+
+def test_every_scenario_golden_has_a_case():
+    """Scenario golden declarations resolve into the case table."""
+    from repro.scenarios import SCENARIOS
+
+    for decl in SCENARIOS:
+        assert decl.golden in GOLDEN_CASES, (
+            f"scenario {decl.spec} declares golden {decl.golden!r} "
+            "but no golden case produces it"
         )

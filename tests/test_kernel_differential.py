@@ -17,16 +17,27 @@ from tests.oracle import (
     differential_R,
     differential_Rbar,
     differential_relabeling,
+    differential_self_reduction,
     differential_speedup,
     differential_zero_round,
     full_corpus,
     random_corpus,
+    scenario_corpus,
 )
 
 CORPUS = full_corpus()
 CORPUS_IDS = [name for name, _ in CORPUS]
 CLASSICS = classic_corpus()
 CLASSIC_IDS = [name for name, _ in CLASSICS]
+
+# Self-reduction corpus: scenario base problems plus cheap classics and
+# a few random systems (one full speedup per problem rides inside).
+SELF_REDUCTION_CORPUS = (
+    scenario_corpus()
+    + [CLASSICS[0], CLASSICS[2], CLASSICS[5]]
+    + random_corpus(seed=555, count=4)
+)
+SELF_REDUCTION_IDS = [name for name, _ in SELF_REDUCTION_CORPUS]
 
 
 @pytest.mark.parametrize("name, problem", CORPUS, ids=CORPUS_IDS)
@@ -37,6 +48,14 @@ def test_speedup_differential(name, problem):
 @pytest.mark.parametrize("name, problem", CORPUS, ids=CORPUS_IDS)
 def test_zero_round_differential(name, problem):
     differential_zero_round(name, problem)
+
+
+@pytest.mark.parametrize(
+    "name, problem", SELF_REDUCTION_CORPUS, ids=SELF_REDUCTION_IDS
+)
+def test_self_reduction_differential(name, problem):
+    """condense/speedup/condense agrees between engines, end to end."""
+    differential_self_reduction(name, problem)
 
 
 @pytest.mark.parametrize("name, problem", CLASSICS, ids=CLASSIC_IDS)

@@ -44,6 +44,7 @@ FIXTURE_DIRS = {
     "RL006": FIXTURES / "rl006" / "src" / "repro" / "lowerbound",
     "RL007": FIXTURES / "rl007" / "src" / "repro" / "analysis",
     "RL008": FIXTURES / "rl008" / "src" / "repro" / "core",
+    "RL009": FIXTURES / "rl009" / "src" / "repro" / "scenarios",
 }
 
 
@@ -52,7 +53,7 @@ FIXTURE_DIRS = {
 # ---------------------------------------------------------------------------
 
 def test_catalogue_is_complete_and_ordered():
-    assert RULE_CODES == [f"RL00{i}" for i in range(1, 9)]
+    assert RULE_CODES == [f"RL00{i}" for i in range(1, 10)]
     assert len({rule.name for rule in RULES}) == len(RULES)
     for rule in RULES:
         assert rule.summary

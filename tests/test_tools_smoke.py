@@ -70,6 +70,80 @@ class TestRegenGolden:
         assert "Exit status" in completed.stdout
 
 
+class TestRunScenario:
+    def test_list_shows_every_registered_scenario(self):
+        completed = run_script("tools/run_scenario.py", "list")
+        assert completed.returncode == 0, completed.stderr
+        for name in (
+            "mis3-speedup",
+            "maximal-matching2-selfreduce",
+            "ruling-set2-2-selfreduce",
+        ):
+            assert name in completed.stdout
+
+    def test_run_maximal_matching_scenario(self):
+        """Scenario smoke for the new maximal-matching family."""
+        completed = run_script(
+            "tools/run_scenario.py", "run", "maximal-matching2-selfreduce"
+        )
+        assert completed.returncode == 0, completed.stderr + completed.stdout
+        assert "certified=3" in completed.stdout
+
+    def test_run_ruling_set_scenario_kernel(self):
+        """Scenario smoke for the new ruling-set family, kernel engine."""
+        completed = run_script(
+            "tools/run_scenario.py", "run", "ruling-set2-2-selfreduce",
+            "--kernel",
+        )
+        assert completed.returncode == 0, completed.stderr + completed.stdout
+        assert "certified=2" in completed.stdout
+
+    def test_unknown_scenario_exits_2(self):
+        completed = run_script("tools/run_scenario.py", "run", "nope")
+        assert completed.returncode == 2
+        assert completed.stderr.startswith("error:")
+
+    def test_unknown_command_exits_2(self):
+        completed = run_script("tools/run_scenario.py", "frobnicate")
+        assert completed.returncode == 2
+        assert completed.stderr.startswith("error:")
+
+    def test_workers_without_kernel_exits_2(self):
+        completed = run_script(
+            "tools/run_scenario.py", "run", "--all", "--workers", "2"
+        )
+        assert completed.returncode == 2
+        assert completed.stderr.startswith("error:")
+
+    def test_help_documents_exit_codes(self):
+        completed = run_script("tools/run_scenario.py", "--help")
+        assert completed.returncode == 0
+        assert "Exit status" in completed.stdout
+
+    def test_expectation_drift_exits_1(self, tmp_path):
+        """A spec whose pinned certified count is wrong must exit 1."""
+        doctored = tmp_path / "scenarios"
+        doctored.mkdir()
+        source = os.path.join(REPO_ROOT, "scenarios")
+        for entry in os.listdir(source):
+            with open(os.path.join(source, entry), encoding="utf-8") as handle:
+                text = handle.read()
+            if entry == "mis3_speedup.scn":
+                text = text.replace("certified: 2", "certified: 7")
+            (doctored / entry).write_text(text)
+        completed = run_script(
+            "-c",
+            "import sys; import pathlib; "
+            "import repro.scenarios.registry as registry; "
+            f"registry.SCENARIO_DIR = pathlib.Path({str(doctored)!r}); "
+            "import tools.run_scenario as rs; "
+            "sys.exit(rs.main(['run', 'mis3-speedup']))",
+        )
+        assert completed.returncode == 1
+        assert "error:" in completed.stderr
+        assert "certified" in completed.stderr
+
+
 class TestBenchKernel:
     def test_unknown_flag_exits_2(self):
         completed = run_script("benchmarks/bench_kernel.py", "--bogus")
@@ -83,6 +157,22 @@ class TestBenchKernel:
         assert "reference counters:" in completed.stdout
         assert "kernel counters:" in completed.stdout
         assert "labels.in=" in completed.stdout
+        assert "scenario gate: maximal-matching2-selfreduce" in completed.stdout
+
+
+class TestBenchScenarios:
+    def test_unknown_flag_exits_2(self):
+        completed = run_script("benchmarks/bench_scenarios.py", "--bogus")
+        assert completed.returncode == 2
+        assert completed.stderr.startswith("error:")
+
+    @pytest.mark.slow
+    def test_check_passes_for_every_registered_scenario(self):
+        completed = run_script("benchmarks/bench_scenarios.py", "--check")
+        assert completed.returncode == 0, completed.stderr + completed.stdout
+        assert "maximal_matching2_selfreduce" in completed.stdout
+        assert "ruling_set2_2_selfreduce" in completed.stdout
+        assert completed.stdout.rstrip().endswith("PASS")
 
 
 class TestTraceReport:

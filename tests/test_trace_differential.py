@@ -19,6 +19,7 @@ import os
 import pytest
 
 from repro.core.round_elimination import speedup
+from repro.core.self_reduction import self_reduce
 from repro.observability.metrics import (
     diff_semantic_profiles,
     semantic_profile,
@@ -28,10 +29,12 @@ from repro.observability.schema import SEMANTIC_COUNTERS, validate_trace
 from repro.observability.trace import Tracer, tracing
 from repro.robustness.errors import InvalidProblem
 
-from tests.oracle import full_corpus
+from tests.oracle import full_corpus, scenario_corpus
 
 CORPUS = full_corpus()
 CORPUS_IDS = [name for name, _ in CORPUS]
+SCENARIOS = scenario_corpus()
+SCENARIO_IDS = [name for name, _ in SCENARIOS]
 
 
 def traced_speedup(problem, *, use_kernel: bool):
@@ -62,6 +65,26 @@ def test_semantic_counters_agree_per_problem(name, problem):
         semantic_profile(reference_records), semantic_profile(kernel_records)
     )
     assert not drift, f"{name}: semantic counter drift:\n" + "\n".join(drift)
+
+
+@pytest.mark.parametrize("name, problem", SCENARIOS, ids=SCENARIO_IDS)
+def test_self_reduction_semantic_counters_agree(name, problem):
+    """The selfred.* counters are engine-equal on scenario base problems."""
+    profiles = []
+    for use_kernel in (False, True):
+        tracer = Tracer()
+        with tracing(tracer):
+            self_reduce(problem, use_kernel=use_kernel)
+        records = tracer.finish()
+        validate_trace(records)
+        profiles.append(semantic_profile(records))
+    drift = diff_semantic_profiles(*profiles)
+    assert not drift, f"{name}: semantic counter drift:\n" + "\n".join(drift)
+    assert any(
+        "selfred.merged_labels" in counters or "labels.in" in counters
+        for span, counters in profiles[0].items()
+        if span == "op.condense"
+    ), f"{name}: no op.condense span in the reference trace"
 
 
 def test_corpus_wide_profiles_agree_and_export():
