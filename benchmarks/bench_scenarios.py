@@ -37,6 +37,17 @@ from repro.scenarios import ScenarioRun, load_registry, run_scenario
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 TRAJECTORY_PATH = os.path.join(REPO_ROOT, "BENCH_kernel.json")
 
+USAGE = (
+    "usage: bench_scenarios.py            (measure + append trajectory rows)\n"
+    "       bench_scenarios.py --check    (single measurement, no recording)\n"
+    "\n"
+    "Exit status (unified across repro tooling):\n"
+    "    0  success: every scenario met its expectations on both engines\n"
+    "    1  drift: an expectation failed, engines diverged, or counters\n"
+    "       drifted\n"
+    "    2  usage error"
+)
+
 
 # ---------------------------------------------------------------------------
 # Pytest benchmarks
@@ -182,6 +193,9 @@ def check() -> int:
 
 
 def main(argv: list[str]) -> int:
+    if argv and argv[0] in ("-h", "--help"):
+        print(USAGE)
+        return 0
     checking = False
     for argument in argv:
         if argument == "--check":

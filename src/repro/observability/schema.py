@@ -27,6 +27,14 @@ kernel engines must agree on semantic counters for the same input; the
 differential trace tests and ``tools/trace_report.py diff`` enforce
 exactly that, while timing/cache counters (``*.cache.hit``, ``mp.*``,
 ``budget.checkpoints``) are engine-specific by design.
+
+The ``service.*`` counters are emitted by the job orchestrator
+(:mod:`repro.service.orchestrator`), one span per job: ``service.jobs``
+(jobs executed), ``service.dedup`` (jobs served by replaying an
+isomorphic computation through the warm operator cache),
+``service.errors`` (jobs that surfaced a typed failure), and
+``service.resumed`` (jobs re-enqueued after a server restart).  They
+are timing-class: how work reached the engine, not what it computed.
 """
 
 from __future__ import annotations
@@ -74,6 +82,10 @@ TIMING_COUNTERS = (
     "mp.mem_admitted_peak",
     "sim.messages",
     "sim.rounds",
+    "service.jobs",
+    "service.dedup",
+    "service.errors",
+    "service.resumed",
 )
 
 _SPAN_STATUSES = ("ok", "error")

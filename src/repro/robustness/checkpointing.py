@@ -87,9 +87,19 @@ class CheckpointStore:
         except FileNotFoundError:
             pass
 
-    def stages(self) -> list[str]:
-        """Names of all stages currently on disk, sorted."""
-        return sorted(path.stem for path in self.directory.glob("*.json"))
+    def stages(self, prefix: str = "") -> list[str]:
+        """Names of all stages currently on disk, sorted.
+
+        With ``prefix``, only stages whose names start with it — the
+        service job store (:mod:`repro.service.jobs`) namespaces its
+        records as ``job-<id>`` and scans exactly that slice on
+        restart.
+        """
+        return sorted(
+            path.stem
+            for path in self.directory.glob("*.json")
+            if path.stem.startswith(prefix)
+        )
 
     def clear(self) -> None:
         """Delete every stage in the store."""

@@ -49,6 +49,10 @@ working:
   ``RuntimeError``) — a bounded retry or round loop ran out of
   attempts: the configuration-model generator found no simple graph,
   or a simulated algorithm did not halt within ``max_rounds``.
+* :class:`InvalidJobRequest` (also a ``ValueError``) — a service job
+  submission (:mod:`repro.service`) is malformed: unknown keys, a
+  missing problem, an operator/policy/engine the wire format does not
+  admit, or invalid budget fields.
 """
 
 from __future__ import annotations
@@ -128,6 +132,18 @@ class RetryExhausted(BudgetExceeded):
     """
 
 
+class InvalidJobRequest(ReproError, ValueError):
+    """A service job request is malformed.
+
+    Raised by :mod:`repro.service.wire` when a submitted job document
+    is not valid JSON-shaped data, mixes a scenario name with an inline
+    problem, names an unknown operator/policy/engine, or carries budget
+    fields no :class:`~repro.robustness.budget.Budget` accepts.  The
+    HTTP layer renders it as a structured 400 response; it never
+    reaches the orchestrator's workers.
+    """
+
+
 __all__ = [
     "ReproError",
     "InvalidProblem",
@@ -140,4 +156,5 @@ __all__ = [
     "InvalidTrace",
     "InvalidScenario",
     "RetryExhausted",
+    "InvalidJobRequest",
 ]

@@ -24,6 +24,7 @@ from repro.scenarios.registry import (
     SCENARIO_DIR,
     SCENARIOS,
     ScenarioDecl,
+    describe_registry,
     find_scenario,
     load_registry,
     load_spec,
@@ -31,8 +32,10 @@ from repro.scenarios.registry import (
 )
 from repro.scenarios.runner import (
     FAMILY_BUILDERS,
+    ChainOutcome,
     ScenarioRun,
     build_problem,
+    run_problem_chain,
     run_scenario,
 )
 from repro.scenarios.spec import ScenarioSpec, parse_spec, render_spec
@@ -48,8 +51,11 @@ __all__ = [
     "load_spec",
     "load_registry",
     "find_scenario",
+    "describe_registry",
     "FAMILY_BUILDERS",
+    "ChainOutcome",
     "ScenarioRun",
     "build_problem",
+    "run_problem_chain",
     "run_scenario",
 ]

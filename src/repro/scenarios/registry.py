@@ -89,6 +89,30 @@ def load_registry() -> list[tuple[ScenarioDecl, ScenarioSpec]]:
     return [(decl, load_spec(decl)) for decl in SCENARIOS]
 
 
+def describe_registry() -> list[dict]:
+    """One JSON-safe summary row per registered scenario, registry order.
+
+    This is the payload of the service's ``GET /v1/scenarios`` endpoint
+    and the data behind the CLI ``list`` commands: the spec's identity
+    and chain shape plus whether the scenario sits in the quick
+    benchmark gate.
+    """
+    return [
+        {
+            "name": spec.name,
+            "family": spec.family,
+            "params": dict(spec.params),
+            "operator": spec.operator,
+            "steps": spec.steps,
+            "expect": spec.expect,
+            "certified": spec.certified,
+            "policy": spec.policy,
+            "quick": decl.quick,
+        }
+        for decl, spec in load_registry()
+    ]
+
+
 def find_scenario(name: str) -> tuple[ScenarioDecl, ScenarioSpec]:
     """Look a scenario up by its spec ``name`` field."""
     for decl, spec in load_registry():
@@ -107,5 +131,6 @@ __all__ = [
     "spec_path",
     "load_spec",
     "load_registry",
+    "describe_registry",
     "find_scenario",
 ]

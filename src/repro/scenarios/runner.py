@@ -34,7 +34,7 @@ from repro.problems import (
     sinkless_orientation_problem,
 )
 from repro.robustness.errors import InvalidProblem, InvalidScenario
-from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.spec import POLICIES, ScenarioSpec
 
 
 def _family_chain_start(delta: int, x: int = 0, a: int | None = None) -> Problem:
@@ -106,6 +106,89 @@ def _zero_round_solvable(policy: str) -> Callable[..., bool]:
     return zero_round_solvable_symmetric
 
 
+@dataclass(frozen=True)
+class ChainOutcome:
+    """What iterating a chain operator on one problem produced."""
+
+    problems: list[Problem]        #: chain iterates, base problem first
+    reached_fixed_point: bool
+    certified_rounds: int          #: leading zero-round-unsolvable iterates
+
+    @property
+    def steps(self) -> int:
+        """Chain steps actually performed."""
+        return len(self.problems) - 1
+
+
+def run_problem_chain(
+    problem: Problem,
+    *,
+    operator: str,
+    steps: int,
+    policy: str = "pn",
+    use_kernel: bool = False,
+    workers: int | None = None,
+) -> ChainOutcome:
+    """Iterate a chain ``operator`` on an arbitrary base problem.
+
+    This is the spec-independent core of :func:`run_scenario`, and the
+    execution path of inline-problem service jobs
+    (:mod:`repro.service.orchestrator`): ``"self-reduce"`` runs the
+    Khoury-Schild chain, ``"speedup"`` iterates plain ``Rbar(R(.))``
+    with a fixed-point stop, and either way the leading zero-round
+    unsolvable iterates under ``policy`` are counted as certified
+    rounds.  The ``"lemma13"`` operator is *not* accepted here — it is
+    parameterized by ``(delta, x)``, not by a problem, so only spec
+    runs can request it.
+    """
+    if policy not in POLICIES:
+        raise InvalidScenario(
+            f"unknown policy {policy!r} (known: {', '.join(POLICIES)})"
+        )
+    if steps < 0:
+        raise InvalidScenario("chain steps must be non-negative", steps=steps)
+    if operator == "self-reduce":
+        chain = self_reduction_chain(
+            problem,
+            steps,
+            policy=policy,
+            use_kernel=use_kernel,
+            workers=workers,
+        )
+        return ChainOutcome(
+            problems=chain.problems,
+            reached_fixed_point=chain.reached_fixed_point,
+            certified_rounds=chain.certified_rounds,
+        )
+    if operator != "speedup":
+        raise InvalidScenario(
+            f"operator {operator!r} cannot run on an inline problem "
+            "(known: speedup, self-reduce)",
+            operator=operator,
+        )
+    current = problem
+    problems = [current]
+    reached_fixed_point = False
+    for _ in range(steps):
+        result = speedup(current, use_kernel=use_kernel, workers=workers)
+        problems.append(result.problem)
+        if result.problem.is_isomorphic(current):
+            reached_fixed_point = True
+            break
+        current = result.problem
+    solvable = _zero_round_solvable(policy)
+    certified = 0
+    for iterate in problems:
+        if solvable(iterate, use_kernel=use_kernel):
+            break
+        certified += 1
+    return ChainOutcome(
+        problems=problems,
+        reached_fixed_point=reached_fixed_point,
+        certified_rounds=certified,
+    )
+
+
 def run_scenario(
     spec: ScenarioSpec,
     *,
@@ -121,33 +204,18 @@ def run_scenario(
     problems: list[Problem]
     reached_fixed_point = False
     certified: int
-    if spec.operator == "self-reduce":
-        chain = self_reduction_chain(
+    if spec.operator in ("self-reduce", "speedup"):
+        outcome = run_problem_chain(
             build_problem(spec),
-            spec.steps,
+            operator=spec.operator,
+            steps=spec.steps,
             policy=spec.policy,
             use_kernel=use_kernel,
             workers=workers,
         )
-        problems = chain.problems
-        reached_fixed_point = chain.reached_fixed_point
-        certified = chain.certified_rounds
-    elif spec.operator == "speedup":
-        current = build_problem(spec)
-        problems = [current]
-        for _ in range(spec.steps):
-            result = speedup(current, use_kernel=use_kernel, workers=workers)
-            problems.append(result.problem)
-            if result.problem.is_isomorphic(current):
-                reached_fixed_point = True
-                break
-            current = result.problem
-        solvable = _zero_round_solvable(spec.policy)
-        certified = 0
-        for iterate in problems:
-            if solvable(iterate, use_kernel=use_kernel):
-                break
-            certified += 1
+        problems = outcome.problems
+        reached_fixed_point = outcome.reached_fixed_point
+        certified = outcome.certified_rounds
     else:  # lemma13 (parse_spec admits no other operator)
         from repro.lowerbound.sequence import run_chain
 
@@ -191,6 +259,8 @@ def run_scenario(
 __all__ = [
     "FAMILY_BUILDERS",
     "build_problem",
+    "ChainOutcome",
+    "run_problem_chain",
     "ScenarioRun",
     "run_scenario",
 ]

@@ -1,0 +1,68 @@
+"""Round elimination as a service: HTTP API over an async job runner.
+
+The package turns the in-process pipeline into a long-running,
+zero-dependency server.  A submitted job names either a registered
+scenario or an inline problem plus a chain request; the orchestrator
+runs it through the exact same ambient machinery an in-process caller
+would use — ``governed()`` budgets, the renaming-invariant
+``caching()`` operator cache, ``tracing()`` spans streamed live — and
+dedups isomorphic submissions by their canonical fingerprint, so two
+clients asking for the same chain under different label names cost one
+computation.  Job state persists through sealed checkpoints: a killed
+server resumes unfinished jobs and re-serves finished ones
+byte-identically.
+
+* :mod:`repro.service.wire` — request/record/result wire formats.
+* :mod:`repro.service.jobs` — job records and the sealed job store.
+* :mod:`repro.service.orchestrator` — worker threads, dedup, budgets.
+* :mod:`repro.service.api` — the HTTP endpoints.
+
+Start a server with ``python -m tools.serve`` or in-process::
+
+    from repro.service import ReproService
+    with ReproService("/tmp/jobs", port=0) as service:
+        print(service.url)
+"""
+
+from repro.service.api import ReproService, job_document
+from repro.service.jobs import JobRecord, JobStore, new_job_id
+from repro.service.orchestrator import (
+    LockedOperatorCache,
+    Orchestrator,
+    StreamingTracer,
+    computation_key,
+    resolve_request,
+)
+from repro.service.wire import (
+    BUDGET_FIELDS,
+    ENGINES,
+    INLINE_OPERATORS,
+    JOB_STATES,
+    POLICIES,
+    JobRequest,
+    parse_job_request,
+    render_job_request,
+    render_result,
+)
+
+__all__ = [
+    "INLINE_OPERATORS",
+    "POLICIES",
+    "ENGINES",
+    "BUDGET_FIELDS",
+    "JOB_STATES",
+    "JobRequest",
+    "parse_job_request",
+    "render_job_request",
+    "render_result",
+    "JobRecord",
+    "JobStore",
+    "new_job_id",
+    "StreamingTracer",
+    "LockedOperatorCache",
+    "Orchestrator",
+    "computation_key",
+    "resolve_request",
+    "ReproService",
+    "job_document",
+]

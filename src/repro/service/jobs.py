@@ -1,0 +1,116 @@
+"""Job records and the sealed on-disk job store.
+
+A :class:`JobRecord` is the complete, JSON-safe state of one submitted
+job: the parsed request, the renaming-invariant computation key it
+dedups on, its lifecycle state (``queued -> running -> done | failed``),
+the rendered result or structured error, the trace-counter totals of
+its run, and the event log the streaming endpoint serves.
+
+The :class:`JobStore` persists records through the same sealed
+:class:`~repro.robustness.checkpointing.CheckpointStore` machinery the
+chain runner checkpoints through: every save is an atomic, SHA-256
+sealed write, and a corrupt record found on restart is evicted and
+counted — the server starts clean rather than trusting damaged state.
+Completed records round-trip byte-identically (property-tested in
+``tests/test_service_store.py``), which is what lets a restarted server
+re-serve a finished job's status document with the exact bytes the
+original server produced.
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.robustness.checkpointing import CheckpointStore
+from repro.robustness.errors import InvalidJobRequest
+from repro.service import wire
+from repro.service.wire import JOB_STATES, JobRequest
+
+#: Stage-name namespace of job records inside the checkpoint store.
+JOB_STAGE_PREFIX = "job-"
+
+
+def new_job_id() -> str:
+    """A fresh opaque job identifier."""
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass
+class JobRecord:
+    """The complete persistable state of one job."""
+
+    job_id: str
+    request: JobRequest
+    key: str                       #: dedup key: operator+steps+policy+fingerprint
+    state: str = "queued"          #: one of :data:`~repro.service.wire.JOB_STATES`
+    deduped: bool = False          #: served by replaying an isomorphic run
+    deduped_from: str | None = None
+    result: dict | None = None     #: rendered result body (terminal ``done``)
+    error: dict | None = None      #: structured error body (terminal ``failed``)
+    counters: dict[str, int] = field(default_factory=dict)
+    events: list[dict] = field(default_factory=list)
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the job reached a terminal state."""
+        return self.state in ("done", "failed")
+
+
+class JobStore:
+    """A directory of sealed job records, namespaced ``job-<id>``."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.checkpoints = CheckpointStore(directory)
+        self.corrupt_evictions = 0
+
+    def save(self, record: JobRecord) -> None:
+        """Atomically persist ``record`` (seal + temp file + rename)."""
+        self.checkpoints.save(
+            f"{JOB_STAGE_PREFIX}{record.job_id}", wire.encode_job(record)
+        )
+
+    def load(self, job_id: str) -> JobRecord | None:
+        """One record by id, or ``None`` when absent or evicted-corrupt."""
+        payload, corrupt = self.checkpoints.load_or_discard(
+            f"{JOB_STAGE_PREFIX}{job_id}"
+        )
+        if corrupt is not None:
+            self.corrupt_evictions += 1
+        if payload is None:
+            return None
+        try:
+            return wire.decode_job(payload)
+        except InvalidJobRequest:
+            self.corrupt_evictions += 1
+            self.checkpoints.delete(f"{JOB_STAGE_PREFIX}{job_id}")
+            return None
+
+    def load_all(self) -> list[JobRecord]:
+        """Every decodable record on disk, sorted by job id.
+
+        Corrupt files — failed integrity seals and well-sealed payloads
+        that do not decode as job records — are evicted and counted in
+        :attr:`corrupt_evictions`, never raised: a damaged job file
+        must cost one job, not the whole server.
+        """
+        records = []
+        for stage in self.checkpoints.stages(prefix=JOB_STAGE_PREFIX):
+            record = self.load(stage[len(JOB_STAGE_PREFIX):])
+            if record is not None:
+                records.append(record)
+        return records
+
+    def delete(self, job_id: str) -> None:
+        """Remove one record if present."""
+        self.checkpoints.delete(f"{JOB_STAGE_PREFIX}{job_id}")
+
+
+__all__ = [
+    "JOB_STAGE_PREFIX",
+    "JOB_STATES",
+    "new_job_id",
+    "JobRecord",
+    "JobStore",
+]

@@ -1,0 +1,93 @@
+"""Differential gate: the HTTP path equals the in-process path.
+
+For registered scenarios, a job submitted over a real socket must
+produce *exactly* the document that rendering an in-process
+:func:`repro.scenarios.run_scenario` outcome through the shared
+:func:`repro.service.wire.render_result` does — same chain, same
+certified rounds, same rendered problems, byte for byte — on both
+engines.  Any drift means the service layer transformed a result
+somewhere (serialization, caching transport, threading), which is
+exactly the class of bug a wire boundary breeds.
+
+The quick-gate scenarios run unmarked; the full-registry sweep is
+``slow``-marked alongside the other exhaustive differential suites.
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.core.io import canonical_json
+from repro.scenarios import load_registry, run_scenario
+from repro.service import ReproService
+from repro.service.wire import render_result
+
+REGISTRY = load_registry()
+QUICK = [(decl, spec) for decl, spec in REGISTRY if decl.quick]
+QUICK_IDS = [spec.name for _, spec in QUICK]
+FULL_IDS = [spec.name for _, spec in REGISTRY]
+
+ENGINES = ("reference", "kernel")
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    with ReproService(
+        tmp_path_factory.mktemp("service-jobs"), port=0, workers=2
+    ) as running:
+        yield running
+
+
+def run_over_http(service, scenario: str, engine: str) -> dict:
+    request = urllib.request.Request(
+        service.url + "/v1/jobs",
+        data=json.dumps({"scenario": scenario, "engine": engine}).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        job_id = json.loads(response.read())["job_id"]
+    assert service.orchestrator.wait(job_id, timeout=300)
+    with urllib.request.urlopen(
+        service.url + f"/v1/jobs/{job_id}", timeout=60
+    ) as response:
+        document = json.loads(response.read())
+    assert document["state"] == "done", document.get("error")
+    return dict(document["result"])
+
+
+def run_in_process(spec, engine: str) -> dict:
+    run = run_scenario(spec, use_kernel=engine == "kernel")
+    return render_result(
+        run.problems,
+        run.reached_fixed_point,
+        run.certified_rounds,
+        run.failures,
+    )
+
+
+def assert_documents_equal(over_http: dict, in_process: dict) -> None:
+    # Compare canonical bytes, not just structures: the wire layer must
+    # not perturb numbers, ordering, or label renderings in any way.
+    assert canonical_json(over_http) == canonical_json(in_process)
+
+
+class TestQuickScenarios:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("decl, spec", QUICK, ids=QUICK_IDS)
+    def test_http_equals_in_process(self, service, decl, spec, engine):
+        assert_documents_equal(
+            run_over_http(service, spec.name, engine),
+            run_in_process(spec, engine),
+        )
+
+
+@pytest.mark.slow
+class TestFullRegistry:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("decl, spec", REGISTRY, ids=FULL_IDS)
+    def test_http_equals_in_process(self, service, decl, spec, engine):
+        assert_documents_equal(
+            run_over_http(service, spec.name, engine),
+            run_in_process(spec, engine),
+        )

@@ -166,6 +166,11 @@ class TestBenchScenarios:
         assert completed.returncode == 2
         assert completed.stderr.startswith("error:")
 
+    def test_help_documents_exit_codes(self):
+        completed = run_script("benchmarks/bench_scenarios.py", "--help")
+        assert completed.returncode == 0
+        assert "Exit status" in completed.stdout
+
     @pytest.mark.slow
     def test_check_passes_for_every_registered_scenario(self):
         completed = run_script("benchmarks/bench_scenarios.py", "--check")
@@ -173,6 +178,46 @@ class TestBenchScenarios:
         assert "maximal_matching2_selfreduce" in completed.stdout
         assert "ruling_set2_2_selfreduce" in completed.stdout
         assert completed.stdout.rstrip().endswith("PASS")
+
+
+class TestServe:
+    def test_help_documents_exit_codes(self):
+        completed = run_script("tools/serve.py", "--help")
+        assert completed.returncode == 0
+        assert "Exit status" in completed.stdout
+
+    def test_no_command_exits_2(self):
+        completed = run_script("tools/serve.py")
+        assert completed.returncode == 2
+        assert "usage" in completed.stderr
+
+    def test_unknown_command_exits_2(self):
+        completed = run_script("tools/serve.py", "frobnicate")
+        assert completed.returncode == 2
+        assert completed.stderr.startswith("error:")
+
+    def test_bad_port_exits_2(self):
+        completed = run_script("tools/serve.py", "serve", "--port", "lots")
+        assert completed.returncode == 2
+        assert completed.stderr.startswith("error:")
+
+    @pytest.mark.slow
+    def test_smoke_gates_hold_and_write_a_trace(self, tmp_path):
+        """The CI service gate, end to end: every endpoint over a real
+        socket, dedup asserted, the master trace consumable by
+        trace_report."""
+        trace = tmp_path / "service.jsonl"
+        completed = run_script(
+            "tools/serve.py", "smoke",
+            "--job-dir", str(tmp_path / "jobs"),
+            "--trace", str(trace),
+        )
+        assert completed.returncode == 0, completed.stderr + completed.stdout
+        assert "duplicate was deduped" in completed.stdout
+        assert completed.stdout.rstrip().endswith("smoke: all gates held")
+        report = run_script("tools/trace_report.py", "report", str(trace))
+        assert report.returncode == 0, report.stderr
+        assert "service.job" in report.stdout
 
 
 class TestTraceReport:

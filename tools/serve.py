@@ -1,0 +1,239 @@
+"""Serve the round-elimination HTTP API, or smoke-test it end to end.
+
+Run:  PYTHONPATH=src python tools/serve.py serve [--port <n>]
+          [--host <addr>] [--workers <n>] [--job-dir <dir>]
+      PYTHONPATH=src python tools/serve.py smoke [--job-dir <dir>]
+          [--trace <out.jsonl>]
+
+``serve`` starts a long-running server (default port 8421, job state
+under ``--job-dir``, default ``.repro-service/``) and blocks until
+interrupted.  Job state and the operator cache live in the job
+directory, so restarting over the same directory resumes unfinished
+jobs and re-serves finished ones byte-identically.
+
+``smoke`` is the self-contained CI gate: it boots a server on an
+ephemeral port, exercises every endpoint over a real socket — health,
+the scenario registry, one full job lifecycle with the live event
+stream, the structured-error path — and then submits the same scenario
+a second time, asserting the duplicate is deduped (``deduped: true``,
+``service.dedup`` counted, zero operator cache misses).  ``--trace``
+writes the master trace (every job grafted) as JSON lines for
+``tools/trace_report.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import urllib.error
+import urllib.request
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.observability.trace import Tracer
+from repro.robustness.errors import ReproError
+from repro.service import ReproService
+
+USAGE = (
+    "usage: serve.py serve [--port <n>] [--host <addr>] [--workers <n>]\n"
+    "                      [--job-dir <dir>]\n"
+    "       serve.py smoke [--job-dir <dir>] [--trace <out.jsonl>]\n"
+    "\n"
+    "Exit status (unified across repro tooling):\n"
+    "    0  success: server ran / every smoke gate held\n"
+    "    1  drift: the service answered but a smoke gate failed\n"
+    "    2  usage error or the server could not start"
+)
+
+#: Default port of the long-running mode (smoke always uses ephemeral).
+DEFAULT_PORT = 8421
+
+
+def _fail(message: str) -> "SystemExit":
+    """One-line ``error:`` diagnostic on stderr, exit status 2."""
+    print(f"error: {message}", file=sys.stderr)
+    return SystemExit(2)
+
+
+def _option(operands: list[str], name: str, default: str) -> tuple[str, list[str]]:
+    if name not in operands:
+        return default, operands
+    where = operands.index(name)
+    try:
+        value = operands[where + 1]
+    except IndexError:
+        raise _fail(f"{name} needs a value\n" + USAGE)
+    return value, operands[:where] + operands[where + 2 :]
+
+
+def _int_option(
+    operands: list[str], name: str, default: int
+) -> tuple[int, list[str]]:
+    raw, operands = _option(operands, name, str(default))
+    try:
+        return int(raw), operands
+    except ValueError:
+        raise _fail(f"{name} needs an integer\n" + USAGE)
+
+
+def serve(operands: list[str]) -> int:
+    port, operands = _int_option(operands, "--port", DEFAULT_PORT)
+    workers, operands = _int_option(operands, "--workers", 2)
+    host, operands = _option(operands, "--host", "127.0.0.1")
+    job_dir, operands = _option(operands, "--job-dir", ".repro-service")
+    if operands:
+        raise _fail(f"unexpected operands {operands!r}\n" + USAGE)
+    try:
+        service = ReproService(
+            job_dir, host=host, port=port, workers=workers
+        ).start()
+    except (ReproError, OSError) as error:
+        raise _fail(f"cannot start server: {error}")
+    print(f"serving on {service.url} (jobs in {job_dir}; ctrl-c stops)")
+    if service.orchestrator.resumed_jobs:
+        print(f"resumed {service.orchestrator.resumed_jobs} unfinished job(s)")
+    try:
+        threading.Event().wait()  # parks the main thread until ctrl-c
+    except KeyboardInterrupt:
+        print("stopping")
+        service.stop()
+        return 0
+
+
+# ---------------------------------------------------------------------------
+# The smoke gate
+# ---------------------------------------------------------------------------
+
+#: Scenario the smoke mode runs end to end (the quick-gate scenario —
+#: the cheapest registered chain).
+SMOKE_SCENARIO = "maximal-matching2-selfreduce"
+
+
+class SmokeFailure(Exception):
+    """One smoke gate did not hold (exit status 1, not 2)."""
+
+
+def _get(base: str, path: str) -> dict:
+    with urllib.request.urlopen(base + path, timeout=60) as response:
+        return dict(json.loads(response.read()))
+
+
+def _post(base: str, path: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return dict(json.loads(response.read()))
+
+
+def _check(condition: bool, gate: str) -> None:
+    if not condition:
+        raise SmokeFailure(gate)
+    print(f"ok: {gate}")
+
+
+def _smoke_gates(service: ReproService) -> None:
+    base = service.url
+    health = _get(base, "/v1/healthz")
+    _check(health["ok"] is True, "healthz answers")
+    rows = _get(base, "/v1/scenarios")["scenarios"]
+    _check(
+        any(row["name"] == SMOKE_SCENARIO for row in rows),
+        "scenario registry served",
+    )
+
+    first = _post(base, "/v1/jobs", {"scenario": SMOKE_SCENARIO})
+    _check(first["state"] == "queued", "job accepted")
+    service.orchestrator.wait(first["job_id"], timeout=120)
+    done = _get(base, "/v1/jobs/" + first["job_id"])
+    _check(done["state"] == "done", "job completed")
+    _check(done["result"]["ok"] is True, "scenario expectations held")
+
+    with urllib.request.urlopen(
+        base + f"/v1/jobs/{first['job_id']}/events", timeout=60
+    ) as stream:
+        lines = [line for line in stream.read().decode().splitlines() if line]
+    last = json.loads(lines[-1])
+    _check(
+        last == {"type": "job.state", "job": first["job_id"], "state": "done"},
+        "event stream ends with the terminal state",
+    )
+
+    second = _post(base, "/v1/jobs", {"scenario": SMOKE_SCENARIO})
+    service.orchestrator.wait(second["job_id"], timeout=120)
+    dup = _get(base, "/v1/jobs/" + second["job_id"])
+    _check(dup["state"] == "done", "duplicate job completed")
+    _check(dup["deduped"] is True, "duplicate was deduped")
+    _check(
+        dup["counters"].get("service.dedup") == 1,
+        "service.dedup counted once",
+    )
+    _check(
+        dup["counters"].get("cache.miss", 0) == 0,
+        "duplicate hit only warm cache (no recomputation)",
+    )
+    _check(dup["result"] == done["result"], "deduped result identical")
+
+    try:
+        _post(base, "/v1/jobs", {"scenario": "no-such-scenario"})
+    except urllib.error.HTTPError as error:
+        body = json.loads(error.read())
+        _check(
+            error.code == 400 and body["type"] == "InvalidScenario",
+            "unknown scenario is a structured 400",
+        )
+    else:
+        raise SmokeFailure("unknown scenario was accepted")
+
+
+def smoke(operands: list[str]) -> int:
+    job_dir, operands = _option(operands, "--job-dir", ".repro-service-smoke")
+    trace_out, operands = _option(operands, "--trace", "")
+    if operands:
+        raise _fail(f"unexpected operands {operands!r}\n" + USAGE)
+    master = Tracer()
+    try:
+        service = ReproService(job_dir, port=0, workers=2, master=master)
+        service.start()
+    except (ReproError, OSError) as error:
+        raise _fail(f"cannot start server: {error}")
+    try:
+        _smoke_gates(service)
+    except SmokeFailure as failure:
+        print(f"error: smoke gate failed: {failure}", file=sys.stderr)
+        return 1
+    except (urllib.error.URLError, OSError, KeyError) as error:
+        print(f"error: smoke run broke: {error}", file=sys.stderr)
+        return 1
+    finally:
+        service.stop()
+        if trace_out:
+            master.write(trace_out)
+            print(f"trace written to {trace_out}")
+    print("smoke: all gates held")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(USAGE, file=sys.stderr)
+        return 2
+    if argv[0] in ("-h", "--help"):
+        print(USAGE)
+        return 0
+    command, *operands = argv
+    if command == "serve":
+        return serve(operands)
+    if command == "smoke":
+        return smoke(operands)
+    raise _fail(f"unknown command {command!r}\n" + USAGE)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
