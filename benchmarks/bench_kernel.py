@@ -24,6 +24,18 @@ a committed trajectory of measured speedups on the Delta=4 MIS chain:
   the supervised scheduler: cold (fresh spill directory) and warm
   (resumed from the full spill) timings, the admitted-memory
   high-water mark under a 64 KiB budget, and the recovery counters.
+* ``PYTHONPATH=src python benchmarks/bench_kernel.py --hotpath``
+  records a ``mode: hotpath`` trajectory row for the *cold* Delta=5
+  chain (fresh transport registry, serial kernel): best-of-3 wall
+  clock against the reference engine, the per-op timing/allocation
+  breakdown from one profiled run
+  (:mod:`repro.observability.profiling`), and the profiler's coverage
+  of the traced kernel wall time (must be >= 90%).  ``--quick`` gates
+  against the best recorded hotpath row ratio-wise: a >1.5x speedup
+  regression on the Delta=5 chain fails the gate.  Add
+  ``--trace <path>`` to also write the profiled kernel trace as JSON
+  lines — written before the gate checks, so CI can upload it and run
+  ``tools/trace_report.py hotspots`` over a failing run.
 
 Besides timings, every measurement runs the chain once per engine
 under a tracer and records the summed counters: the semantic ones
@@ -40,13 +52,16 @@ import sys
 import tempfile
 import time
 
+from repro.core.kernel.interning import transport_registry
 from repro.core.kernel.sharding import ShardPolicy, scheduling
 from repro.core.round_elimination import R, Rbar, rename_to_strings, speedup
 from repro.observability.metrics import (
     diff_semantic_profiles,
+    hotspot_profile,
     semantic_profile,
     total_counters,
 )
+from repro.observability.profiling import Profiler, profiling
 from repro.observability.trace import Tracer, tracing
 from repro.problems.family import family_problem
 from repro.problems.mis import mis_problem
@@ -66,6 +81,14 @@ SHARD_BUDGET_BYTES = 65536
 
 SHARDED_DELTA = 5
 SHARDED_WORKERS = 4
+
+#: The hot-path row: the serial cold Delta=5 chain the engine rewrite
+#: optimizes.  The quick gate tolerates a 1.5x ratio regression against
+#: the best recorded row; the profiler's sections must account for at
+#: least 90% of the traced kernel wall time.
+HOTPATH_DELTA = 5
+HOTPATH_REGRESSION_FACTOR = 1.5
+HOTPATH_MIN_COVERAGE = 0.9
 
 
 # ---------------------------------------------------------------------------
@@ -408,6 +431,172 @@ def record_sharded() -> int:
     return 0
 
 
+def run_hotpath_chain(*, use_kernel: bool = True):
+    """The cold serial Delta=5 chain: fresh transport registry, no
+    cross-run interned-artifact reuse — every measurement pays the
+    full interning and search cost the hot path is built to shrink."""
+    transport_registry().clear()
+    problem = mis_problem(HOTPATH_DELTA)
+    for _ in range(MIS_CHAIN_STEPS):
+        problem = speedup(problem, use_kernel=use_kernel).problem
+    return problem
+
+
+def measure_hotpath(rounds: int, trace_path: str | None = None) -> dict:
+    """Best-of-``rounds`` cold Delta=5 timings plus the profiled
+    per-op breakdown.
+
+    Timed runs are untraced and unprofiled; one extra traced run per
+    engine collects the drift-checked counters, and the kernel's
+    traced run is also profiled for the per-op wall/allocation
+    breakdown and its coverage of the traced kernel wall time.  With
+    ``trace_path`` the profiled kernel trace is also written as JSON
+    lines (before any gate checks, so a failing run still leaves the
+    evidence behind — CI uploads it and renders
+    ``tools/trace_report.py hotspots`` over it).
+    """
+    run_hotpath_chain()  # warm-up (imports, bytecode)
+    kernel_seconds = min(
+        _timed(run_hotpath_chain) for _ in range(rounds)
+    )
+    started = time.perf_counter()
+    reference_problem = run_hotpath_chain(use_kernel=False)
+    reference_seconds = time.perf_counter() - started
+    if reference_problem != run_hotpath_chain():
+        raise AssertionError(
+            "hot-path kernel chain diverged from the reference engine"
+        )
+    reference_tracer = Tracer()
+    with tracing(reference_tracer):
+        run_hotpath_chain(use_kernel=False)
+    reference_records = reference_tracer.finish()
+    kernel_tracer = Tracer()
+    with tracing(kernel_tracer), profiling(Profiler()):
+        run_hotpath_chain()
+    kernel_records = kernel_tracer.finish()
+    if trace_path is not None:
+        kernel_tracer.write(trace_path)
+    drift = diff_semantic_profiles(
+        semantic_profile(reference_records), semantic_profile(kernel_records)
+    )
+    profile = hotspot_profile(kernel_records)
+    breakdown = {
+        op: {
+            "calls": totals["calls"],
+            "wall_ms": round(totals["wall_ns"] / 1e6, 3),
+            "alloc_blocks": totals["alloc_blocks"],
+        }
+        for op, totals in sorted(
+            profile["ops"].items(),
+            key=lambda item: item[1]["wall_ns"],
+            reverse=True,
+        )
+    }
+    return {
+        "chain": f"mis_delta{HOTPATH_DELTA}_steps{MIS_CHAIN_STEPS}",
+        "mode": "hotpath",
+        "reference_seconds": round(reference_seconds, 4),
+        "kernel_seconds": round(kernel_seconds, 4),
+        "speedup": round(reference_seconds / kernel_seconds, 2),
+        "profile": breakdown,
+        "coverage": round(profile["coverage"] or 0.0, 4),
+        "counters": {
+            "reference": total_counters(reference_records),
+            "kernel": total_counters(kernel_records),
+        },
+        "semantic_drift": drift,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+
+
+def _print_hotpath_entry(entry: dict) -> None:
+    print(
+        f"hotpath: speedup {entry['speedup']}x "
+        f"(reference {entry['reference_seconds']}s, "
+        f"kernel {entry['kernel_seconds']}s, "
+        f"coverage {entry['coverage']:.1%})"
+    )
+    for op, totals in entry["profile"].items():
+        print(
+            f"  {op}: calls={totals['calls']} "
+            f"wall_ms={totals['wall_ms']} "
+            f"alloc_blocks={totals['alloc_blocks']}"
+        )
+
+
+def _check_hotpath_entry(entry: dict) -> int:
+    """Shared validity checks for record and gate modes; 0 = sound."""
+    if entry["semantic_drift"]:
+        for line in entry["semantic_drift"]:
+            print(f"  {line}")
+        print(
+            "error: hot-path run drifted semantically between engines",
+            file=sys.stderr,
+        )
+        return 1
+    if entry["coverage"] < HOTPATH_MIN_COVERAGE:
+        print(
+            f"error: profiled sections cover {entry['coverage']:.1%} of "
+            f"kernel wall time, below required "
+            f"{HOTPATH_MIN_COVERAGE:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def record_hotpath(trace_path: str | None = None) -> int:
+    """Append a ``mode: hotpath`` row to the trajectory."""
+    entry = measure_hotpath(rounds=3, trace_path=trace_path)
+    _print_hotpath_entry(entry)
+    failed = _check_hotpath_entry(entry)
+    if failed:
+        return failed
+    trajectory = load_trajectory()
+    trajectory.append(entry)
+    with open(TRAJECTORY_PATH, "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=2)
+        handle.write("\n")
+    print(f"trajectory length: {len(trajectory)} ({TRAJECTORY_PATH})")
+    return 0
+
+
+def hotpath_gate() -> int:
+    """Single Delta=5 measurement vs. the best hotpath row; 0 = pass.
+
+    Ratio-based like the Delta=4 floor — wall-clock seconds do not
+    transfer between machines, kernel-vs-reference speedup ratios do —
+    but with the tighter ``HOTPATH_REGRESSION_FACTOR``, since the
+    single optimized chain shape is far less noisy than the whole
+    suite.  Skips silently when no hotpath row has been recorded yet.
+    """
+    rows = [
+        item for item in load_trajectory() if item.get("mode") == "hotpath"
+    ]
+    if not rows:
+        print("no recorded hotpath rows - nothing to compare against")
+        return 0
+    entry = measure_hotpath(rounds=1)
+    _print_hotpath_entry(entry)
+    failed = _check_hotpath_entry(entry)
+    if failed:
+        return failed
+    best = max(row["speedup"] for row in rows)
+    floor = best / HOTPATH_REGRESSION_FACTOR
+    print(
+        f"hotpath best recorded: {best}x, regression floor: {floor:.2f}x"
+    )
+    if entry["speedup"] < floor:
+        print(
+            f"error: hot-path speedup regressed more than "
+            f"{HOTPATH_REGRESSION_FACTOR}x below the best recorded "
+            f"hotpath row",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def scenario_gate() -> int:
     """The registry's quick scenarios on both engines; 0 = pass.
 
@@ -488,6 +677,9 @@ def quick_gate() -> int:
     failed = scenario_gate()
     if failed:
         return failed
+    failed = hotpath_gate()
+    if failed:
+        return failed
     # The trajectory also holds cold/warm cache entries (bench_cache.py)
     # and per-scenario rows (bench_scenarios.py) whose "speedup" does
     # not measure the Delta=4 MIS chain — only plain kernel
@@ -517,19 +709,37 @@ def quick_gate() -> int:
 def main(argv: list[str]) -> int:
     quick = False
     sharded = False
-    for argument in argv:
+    hotpath = False
+    trace_path: str | None = None
+    arguments = list(argv)
+    if "--trace" in arguments:
+        where = arguments.index("--trace")
+        try:
+            trace_path = arguments[where + 1]
+        except IndexError:
+            print("error: --trace needs a path", file=sys.stderr)
+            return 2
+        arguments = arguments[:where] + arguments[where + 2:]
+    for argument in arguments:
         if argument == "--quick":
             quick = True
         elif argument == "--sharded":
             sharded = True
+        elif argument == "--hotpath":
+            hotpath = True
         else:
             print(f"error: unknown option {argument}", file=sys.stderr)
             return 2
+    if trace_path is not None and not hotpath:
+        print("error: --trace only applies to --hotpath", file=sys.stderr)
+        return 2
     try:
         if quick:
             return quick_gate()
         if sharded:
             return record_sharded()
+        if hotpath:
+            return record_hotpath(trace_path)
         record()
         return 0
     except Exception as error:  # any measurement failure must exit non-zero

@@ -34,6 +34,45 @@ def iter_bits(mask: int) -> Iterator[int]:
         mask ^= low
 
 
+def bits_list(mask: int) -> list[int]:
+    """The set bit indices of ``mask`` as an eager ascending list.
+
+    The loop twin of :func:`iter_bits` without generator overhead —
+    the DFS hot path calls this where it needs the indices more than
+    once (generators would have to be re-created per pass).
+    """
+    bits: list[int] = []
+    while mask:
+        low = mask & -mask
+        bits.append(low.bit_length() - 1)
+        mask ^= low
+    return bits
+
+
+def mask_without_below(mask: int, index: int) -> int:
+    """``mask`` with every bit strictly below ``index`` cleared.
+
+    The DFS uses this to restrict a candidate mask to the indices a
+    nondecreasing search is still allowed to choose.
+    """
+    return mask & ~((1 << index) - 1)
+
+
+def iter_submasks(mask: int) -> Iterator[int]:
+    """All submasks of ``mask``, descending, ending with 0.
+
+    The standard ``sub = (sub - 1) & mask`` enumeration: each step is
+    two int instructions, visiting every subset of the set exactly
+    once (``2**popcount(mask)`` values).
+    """
+    sub = mask
+    while True:
+        yield sub
+        if sub == 0:
+            return
+        sub = (sub - 1) & mask
+
+
 def popcount(mask: int) -> int:
     """Number of set bits (the cardinality of the label set)."""
     return mask.bit_count()
@@ -58,6 +97,9 @@ __all__ = [
     "bit",
     "mask_from_ids",
     "iter_bits",
+    "bits_list",
+    "mask_without_below",
+    "iter_submasks",
     "popcount",
     "is_subset",
     "is_strict_subset",

@@ -37,20 +37,23 @@ from __future__ import annotations
 import itertools
 from collections.abc import Hashable, Iterable
 
+from repro.core import cache as _cache
 from repro.core.configurations import Configuration
 from repro.core.constraints import Constraint
 from repro.core.kernel.bitops import (
     bit,
+    bits_list,
     is_strict_subset,
     is_subset,
     iter_bits,
     mask_from_ids,
     popcount,
 )
-from repro.core.kernel.interning import LabelInterner
+from repro.core.kernel.interning import LabelInterner, transport_registry
 from repro.core.labels import Alphabet, render_label
 from repro.core.problem import Problem
 from repro.observability import trace as _trace
+from repro.observability.profiling import section as _prof_section
 from repro.robustness import budget as _budget
 from repro.robustness.errors import InvalidProblem
 from typing import TYPE_CHECKING
@@ -61,6 +64,65 @@ if TYPE_CHECKING:
 
 def _set_sort_key(labels: frozenset) -> tuple:
     return (len(labels), sorted(render_label(label) for label in labels))
+
+
+# hotpath
+def partner_mask(compat: tuple[int, ...] | list[int], full: int, mask: int) -> int:
+    """``f(A) = {b : ab allowed for all a in A}`` from raw compat masks.
+
+    The one shared Galois-image loop: :meth:`KernelProblem.partner`
+    wraps it with the memo, and :func:`edge_pairing_chunk` calls it
+    directly inside workers (which have no :class:`KernelProblem`).
+    """
+    if mask == 0:
+        return 0
+    result = full
+    remaining = mask
+    while remaining:
+        low_bit = remaining & -remaining
+        result &= compat[low_bit.bit_length() - 1]
+        remaining ^= low_bit
+    return result
+
+
+def closure_machine(
+    closure: Iterable[int], shift: int, label_count: int
+) -> tuple[tuple[int, ...], tuple[tuple[int, ...], ...]]:
+    """Compile a packed prefix closure into a transition table.
+
+    Elements are the packed multisets in sorted order — index 0 is
+    always the empty pack ``0`` — and ``trans[label][element]`` is the
+    element index of ``element + label`` or ``-1`` when the extension
+    leaves the closure.  The DFS inner step thus becomes one tuple
+    lookup on small ints instead of a big-int add plus a hash of a
+    many-hundred-bit packed key, and frontiers shrink from
+    ``frozenset`` objects to plain int bitmasks over element indices.
+
+    A count field already at capacity (``2**shift - 1``) compiles to
+    ``-1`` rather than letting the add carry into the next label's
+    field: the raw add can alias an unrelated valid pack, and the
+    aliasing is not relabeling-equivariant, which would make
+    transported machines (:func:`_transported_view`) differ from fresh
+    builds.  No search ever reads such an entry — a full field means
+    the element's count sum is at least the capacity, which is at
+    least the search arity, while frontiers are only ever grown at
+    depth strictly below the arity — so the guard changes no live
+    behavior (the parity suite pins this against the pre-machine
+    recursion, which used the raw carrying add).
+    """
+    elements = tuple(sorted(closure))
+    index = {element: position for position, element in enumerate(elements)}
+    field = (1 << shift) - 1
+    trans = tuple(
+        tuple(
+            -1
+            if (element >> (shift * label_id)) & field == field
+            else index.get(element + (1 << (shift * label_id)), -1)
+            for element in elements
+        )
+        for label_id in range(label_count)
+    )
+    return elements, trans
 
 
 class KernelProblem:
@@ -80,6 +142,7 @@ class KernelProblem:
         "_node_strict_successors",
         "_node_right_closed",
         "_node_prefix_closure",
+        "_node_machine",
     )
 
     def __init__(self, problem: Problem) -> None:
@@ -105,17 +168,36 @@ class KernelProblem:
         self._node_strict_successors: list[int] | None = None
         self._node_right_closed: tuple[int, ...] | None = None
         self._node_prefix_closure: frozenset[int] | None = None
+        self._node_machine: (
+            tuple[tuple[int, ...], tuple[tuple[int, ...], ...]] | None
+        ) = None
 
     @classmethod
     def of(cls, problem: Problem) -> "KernelProblem":
-        """The interned view, memoized on the problem instance."""
+        """The interned view, memoized on the problem instance.
+
+        A problem that is a relabeling of a recently interned one
+        (confirmed via the renaming-invariant fingerprint of
+        :mod:`repro.core.cache`) receives the source's memoized
+        artifacts transported through the label bijection instead of a
+        from-scratch analysis — ``kernel.intern.transported`` counts
+        these, and neither ``kernel.cache.miss`` nor the Galois
+        ``galois.cache.miss`` counters grow for the transported parts.
+        """
         cached = problem._kernel_cache
-        if cached is None:
-            _trace.add("kernel.cache.miss")
-            cached = cls(problem)
-            problem._kernel_cache = cached
-        else:
+        if cached is not None:
             _trace.add("kernel.cache.hit")
+            return cached
+        registry = transport_registry()
+        cached = _transport_interned(cls, problem, registry)
+        if cached is not None:
+            _trace.add("kernel.intern.transported")
+        else:
+            _trace.add("kernel.cache.miss")
+            with _prof_section("intern.build"):
+                cached = cls(problem)
+        problem._kernel_cache = cached
+        registry.record(_cache.structure_key(problem), cached)
         return cached
 
     # -- Galois connection of the edge constraint ------------------------
@@ -127,12 +209,7 @@ class KernelProblem:
             _trace.add("galois.cache.hit")
             return cached
         _trace.add("galois.cache.miss")
-        if mask == 0:
-            result = 0
-        else:
-            result = (1 << self.n) - 1
-            for index in iter_bits(mask):
-                result &= self.compat[index]
+        result = partner_mask(self.compat, (1 << self.n) - 1, mask)
         self._partner_cache[mask] = result
         return result
 
@@ -276,6 +353,24 @@ class KernelProblem:
         self._node_prefix_closure = frozenset(closure)
         return self._node_prefix_closure
 
+    def node_dfs_machine(
+        self,
+    ) -> tuple[tuple[int, ...], tuple[tuple[int, ...], ...]]:
+        """The prefix closure compiled to a transition table (memoized).
+
+        See :func:`closure_machine` — this is what the allocation-free
+        maximization DFS actually walks; the raw packed closure of
+        :meth:`node_prefix_closure` stays available for the reference
+        twins and the property tests.
+        """
+        if self._node_machine is not None:
+            return self._node_machine
+        machine = closure_machine(
+            self.node_prefix_closure(), self.delta.bit_length(), self.n
+        )
+        self._node_machine = machine
+        return machine
+
     # -- Zero-round predicates ------------------------------------------
 
     def self_compatible_mask(self) -> int:
@@ -305,6 +400,159 @@ class KernelProblem:
 
 
 # ---------------------------------------------------------------------------
+# Cross-step artifact transport
+# ---------------------------------------------------------------------------
+
+def _permute_mask(mask: int, perm: list[int]) -> int:
+    """The image of a label-set mask under the id bijection ``perm``."""
+    result = 0
+    remaining = mask
+    while remaining:
+        low_bit = remaining & -remaining
+        result |= 1 << perm[low_bit.bit_length() - 1]
+        remaining ^= low_bit
+    return result
+
+
+def _permute_pack(packed: int, shift: int, perm: list[int]) -> int:
+    """The image of a packed count-vector under the id bijection."""
+    field = (1 << shift) - 1
+    result = 0
+    label_id = 0
+    while packed:
+        count = packed & field
+        if count:
+            result += count << (shift * perm[label_id])
+        packed >>= shift
+        label_id += 1
+    return result
+
+
+def _transport_interned(cls, problem: Problem, registry) -> "KernelProblem | None":
+    """A :class:`KernelProblem` for ``problem`` built by relabeling a
+    recorded isomorphic source, or ``None`` when no source matches.
+
+    The registry's structure key is a necessary condition only, so the
+    canonical fingerprint confirms each candidate before the transport
+    runs — but only *already memoized* fingerprints are consulted
+    (:func:`repro.core.cache.cached_fingerprint`), so interning never
+    triggers fresh canonicalization work or its budget checkpoints.
+    Chain drivers that canonicalize anyway (condensation ranks each
+    iterate) get transport for free; plain speedup chains, whose steps
+    are never isomorphic, pay nothing.  Transport is sound because
+    every memoized artifact — compat masks, the Galois lattice and
+    partner cache, the strength preorder, right-closed sets, prefix
+    closure, and the compiled DFS machine — is equivariant under label
+    bijections.
+    """
+    digest = _cache.cached_fingerprint(problem)
+    if digest is None:
+        return None
+    for source in registry.candidates(_cache.structure_key(problem)):
+        if source.problem is problem:
+            continue
+        if _cache.cached_fingerprint(source.problem) != digest:
+            continue
+        with _prof_section("intern.transport"):
+            return _transported_view(cls, problem, source)
+    return None
+
+
+def _transported_view(
+    cls, problem: Problem, source: "KernelProblem"
+) -> "KernelProblem":
+    """Carry every memoized artifact of ``source`` through the label
+    bijection onto ``problem`` (position-wise along canonical orders)."""
+    target: KernelProblem = cls.__new__(cls)
+    target.problem = problem
+    interner = LabelInterner(problem.alphabet)
+    target.interner = interner
+    n = len(interner)
+    target.n = n
+    target.delta = problem.delta
+    source_order = _cache.canonical_form(source.problem).order
+    target_order = _cache.canonical_form(problem).order
+    perm = [0] * n
+    source_id_of = source.interner.id_of
+    for source_label, target_label in zip(source_order, target_order):
+        perm[source_id_of(source_label)] = interner.id_of(target_label)
+    compat = [0] * n
+    for source_id in range(n):
+        compat[perm[source_id]] = _permute_mask(source.compat[source_id], perm)
+    target.compat = compat
+    target.node_configs = tuple(
+        sorted(
+            tuple(sorted(perm[label_id] for label_id in configuration))
+            for configuration in source.node_configs
+        )
+    )
+    target.node_config_set = frozenset(target.node_configs)
+    target._partner_cache = {
+        _permute_mask(query, perm): _permute_mask(image, perm)
+        for query, image in source._partner_cache.items()
+    }
+    if source._closed_sets is None:
+        target._closed_sets = None
+    else:
+        target._closed_sets = tuple(
+            sorted(_permute_mask(mask, perm) for mask in source._closed_sets)
+        )
+    if source._node_ge is None:
+        target._node_ge = None
+    else:
+        ge = [0] * n
+        for weak in range(n):
+            ge[perm[weak]] = _permute_mask(source._node_ge[weak], perm)
+        target._node_ge = ge
+    if source._node_strict_successors is None:
+        target._node_strict_successors = None
+    else:
+        successors = [0] * n
+        for weak in range(n):
+            successors[perm[weak]] = _permute_mask(
+                source._node_strict_successors[weak], perm
+            )
+        target._node_strict_successors = successors
+    if source._node_right_closed is None:
+        target._node_right_closed = None
+    else:
+        target._node_right_closed = tuple(
+            sorted(
+                (_permute_mask(mask, perm) for mask in source._node_right_closed),
+                key=lambda mask: (popcount(mask), tuple(iter_bits(mask))),
+            )
+        )
+    shift = target.delta.bit_length()
+    if source._node_prefix_closure is None:
+        target._node_prefix_closure = None
+    else:
+        target._node_prefix_closure = frozenset(
+            _permute_pack(packed, shift, perm)
+            for packed in source._node_prefix_closure
+        )
+    if source._node_machine is None:
+        target._node_machine = None
+    else:
+        old_elements, old_trans = source._node_machine
+        mapped = [
+            _permute_pack(element, shift, perm) for element in old_elements
+        ]
+        new_elements = tuple(sorted(mapped))
+        position = {element: slot for slot, element in enumerate(new_elements)}
+        reindex = [position[element] for element in mapped]
+        new_trans: list[tuple[int, ...]] = [()] * n
+        for label_id in range(n):
+            row = old_trans[label_id]
+            new_row = [-1] * len(new_elements)
+            for old_slot, new_slot in enumerate(reindex):
+                step = row[old_slot]
+                new_row[new_slot] = reindex[step] if step >= 0 else -1
+            new_trans[perm[label_id]] = tuple(new_row)
+        target._node_machine = (new_elements, tuple(new_trans))
+    return target
+
+
+# ---------------------------------------------------------------------------
 # Maximization steps
 # ---------------------------------------------------------------------------
 
@@ -319,24 +567,15 @@ def edge_pairing_chunk(
     Each closed set is tested independently (``A`` is kept with its
     partner ``f(A)`` iff ``f(f(A)) == A``), so the serial pairing loop
     is exactly the concatenation of contiguous slices — the unit of
-    work the parallel fan-out distributes.  Recomputes partners from
-    the raw compatibility masks since workers have no
-    :class:`KernelProblem` memo.
+    work the parallel fan-out distributes.  Uses the shared
+    :func:`partner_mask` on the raw compatibility masks since workers
+    have no :class:`KernelProblem` memo.
     """
     full = (1 << len(compat)) - 1
-
-    def partner(mask: int) -> int:
-        if mask == 0:
-            return 0
-        result = full
-        for index in iter_bits(mask):
-            result &= compat[index]
-        return result
-
     pairs: list[tuple[int, int]] = []
     for left in closed_sets[low:high]:
-        right = partner(left)
-        if right and partner(right) == left:
+        right = partner_mask(compat, full, left)
+        if right and partner_mask(compat, full, right) == left:
             pairs.append((left, right))
     return pairs
 
@@ -352,33 +591,37 @@ def maximize_edge_constraint_kernel(
     """
     kernel = KernelProblem.of(problem)
     interner = kernel.interner
-    closed_sets = kernel.galois_closed_sets()
+    with _prof_section("edge_max.lattice"):
+        closed_sets = kernel.galois_closed_sets()
     _trace.add("edge.closed_sets", len(closed_sets))
     pairs: list[tuple[int, int]] | None = None
-    if pool is not None and len(closed_sets) > 1:
-        # One closed set per unit; the scheduler groups units into
-        # shards (slice width is the memory estimate) and merges them
-        # back in index order, so the pair list equals the serial loop.
-        chunks = pool.map_chunks(
-            "edge-pair",
-            (tuple(kernel.compat), closed_sets),
-            len(closed_sets),
-            phase="edge-maximization",
-        )
-        if chunks is not None:
-            pairs = [pair for chunk in chunks for pair in chunk]
-    if pairs is None:
-        pairs = []
-        for left in closed_sets:
-            right = kernel.partner(left)
-            if right and kernel.partner(right) == left:
-                pairs.append((left, right))
-    configurations: set[Configuration] = {
-        Configuration(
-            (interner.labels_of_mask(left), interner.labels_of_mask(right))
-        )
-        for left, right in pairs
-    }
+    with _prof_section("edge_max.pairing"):
+        if pool is not None and len(closed_sets) > 1:
+            # One closed set per unit; the scheduler groups units into
+            # shards (slice width is the memory estimate) and merges
+            # them back in index order, so the pair list equals the
+            # serial loop.
+            chunks = pool.map_chunks(
+                "edge-pair",
+                (tuple(kernel.compat), closed_sets),
+                len(closed_sets),
+                phase="edge-maximization",
+            )
+            if chunks is not None:
+                pairs = [pair for chunk in chunks for pair in chunk]
+        if pairs is None:
+            pairs = []
+            for left in closed_sets:
+                right = kernel.partner(left)
+                if right and kernel.partner(right) == left:
+                    pairs.append((left, right))
+    with _prof_section("edge_max.materialize"):
+        configurations: set[Configuration] = {
+            Configuration(
+                (interner.labels_of_mask(left), interner.labels_of_mask(right))
+            )
+            for left, right in pairs
+        }
     if not configurations:
         raise InvalidProblem(
             "edge constraint admits no maximal configuration",
@@ -449,51 +692,171 @@ def grow_frontier_exists(
     return frozenset(grown)
 
 
+# hotpath
+def _maximization_dfs(
+    candidates: tuple[int, ...],
+    member_labels: tuple[tuple[int, ...], ...],
+    trans: tuple[tuple[int, ...], ...],
+    arity: int,
+    lo: int,
+    hi: int,
+    budget_phase: str | None = None,
+    stats: dict | None = None,
+) -> list[tuple[int, ...]]:
+    """The iterative all-or-nothing DFS over the closure machine.
+
+    One explicit-stack loop serves both the serial search
+    (``lo=0, hi=len(candidates)``, budgeted) and a parallel chunk
+    (``lo=first_index, hi=first_index+1``, unbudgeted): frames are
+    ``[cursor, limit, frontier_mask]`` plus a parallel ``chosen`` list
+    of candidate indices, and frontier growth is memoized per candidate
+    keyed on the frontier bitmask.  Emission order, failure conditions,
+    and candidate-level grow counts (``stats['grow_calls']``) are
+    pinned 1:1 to the old recursive search by the property tests.
+    """
+    results: list[tuple[int, ...]] = []
+    count = len(candidates)
+    element_count = len(trans[0]) if trans else 1
+    element_range = range(element_count)
+    # Per-label memos, built on first touch: ``label_valid[lab]`` is
+    # the element mask from which ``lab`` can extend, ``label_image``
+    # the per-element image bit.  Per-candidate: ``invalid[c]`` (any
+    # frontier bit in it fails the all-or-nothing test in one AND) and
+    # ``rows[c]`` (aggregated image row; success is one lookup + OR
+    # per frontier element).
+    label_valid: dict[int, int] = {}
+    label_image: dict[int, list[int]] = {}
+    invalid: list[int | None] = [None] * count
+    rows: list[list[int] | None] = [None] * count
+    grow_calls = 0
+    if budget_phase is not None:
+        _budget.check_configurations(0, phase=budget_phase, depth=0)
+    chosen: list[int] = []
+    stack: list[list] = [[lo, hi, 1, None]]
+    while stack:
+        frame = stack[-1]
+        cursor = frame[0]
+        if cursor == frame[1]:
+            stack.pop()
+            if chosen:
+                chosen.pop()
+            continue
+        frame[0] = cursor + 1
+        grow_calls += 1
+        frontier = frame[2]
+        bad = invalid[cursor]
+        if bad is None:
+            valid = -1
+            for label_id in member_labels[cursor]:
+                label_mask = label_valid.get(label_id)
+                if label_mask is None:
+                    transitions = trans[label_id]
+                    label_mask = 0
+                    for element in element_range:
+                        if transitions[element] >= 0:
+                            label_mask |= 1 << element
+                    label_valid[label_id] = label_mask
+                valid &= label_mask
+            bad = ~valid
+            invalid[cursor] = bad
+        if frontier & bad:
+            continue
+        row = rows[cursor]
+        if row is None:
+            labels = member_labels[cursor]
+            images: list[list[int]] = []
+            for label_id in labels:
+                image = label_image.get(label_id)
+                if image is None:
+                    transitions = trans[label_id]
+                    image = [
+                        (1 << transitions[element])
+                        if transitions[element] >= 0
+                        else 0
+                        for element in element_range
+                    ]
+                    label_image[label_id] = image
+                images.append(image)
+            row = list(images[0])
+            for image in images[1:]:
+                row = [left | right for left, right in zip(row, image)]
+            rows[cursor] = row
+        # The frontier is constant for every cursor of this frame, so
+        # its bit decomposition is computed once and cached in-frame.
+        members = frame[3]
+        if members is None:
+            members = []
+            remaining = frontier
+            while remaining:
+                low_bit = remaining & -remaining
+                members.append(low_bit.bit_length() - 1)
+                remaining ^= low_bit
+            frame[3] = members
+        grown = 0
+        for element in members:
+            grown |= row[element]
+        chosen.append(cursor)
+        depth = len(chosen)
+        if depth == arity:
+            if budget_phase is not None:
+                _budget.check_configurations(
+                    len(results), phase=budget_phase, depth=depth
+                )
+            results.append(tuple(candidates[index] for index in chosen))
+            chosen.pop()
+            continue
+        if budget_phase is not None:
+            _budget.check_configurations(
+                len(results), phase=budget_phase, depth=depth
+            )
+        stack.append([cursor, count, grown, None])
+    if stats is not None:
+        stats["grow_calls"] = stats.get("grow_calls", 0) + grow_calls
+    return results
+
+
+# hotpath
 def search_maximization_chunk(
     candidates: tuple[int, ...],
-    member_steps: tuple[tuple[int, ...], ...],
-    closure: frozenset[int],
+    member_labels: tuple[tuple[int, ...], ...],
+    trans: tuple[tuple[int, ...], ...],
     arity: int,
     first_index: int,
+    stats: dict | None = None,
 ) -> list[tuple[int, ...]]:
     """Explore the DFS subtree whose first chosen set is ``candidates[first_index]``.
 
     This is the unit of work the parallel fan-out distributes: the
     serial search is exactly the concatenation of the chunks for
     ``first_index = 0 .. len(candidates) - 1``, so chunked results are
-    order- and content-identical to a single DFS.
+    order- and content-identical to a single DFS.  ``member_labels``
+    holds each candidate's member label ids and ``trans`` is the
+    closure machine of :func:`closure_machine`.
     """
-    results: list[tuple[int, ...]] = []
-    initial = grow_frontier(frozenset([0]), member_steps[first_index], closure)
-    if initial is None:
-        return results
-
-    def extend(start: int, chosen: list[int], frontier: frozenset[int]) -> None:
-        if len(chosen) == arity:
-            results.append(tuple(chosen))
-            return
-        for index in range(start, len(candidates)):
-            grown = grow_frontier(frontier, member_steps[index], closure)
-            if grown is None:
-                continue
-            chosen.append(candidates[index])
-            extend(index, chosen, grown)
-            chosen.pop()
-
-    if arity == 1:
-        results.append((candidates[first_index],))
-    else:
-        extend(first_index, [candidates[first_index]], initial)
-    return results
+    return _maximization_dfs(
+        candidates,
+        member_labels,
+        trans,
+        arity,
+        first_index,
+        first_index + 1,
+        stats=stats,
+    )
 
 
+# hotpath
 def prune_non_maximal_masks(
     configurations: list[tuple[int, ...]], candidate_sets: Iterable[int]
 ) -> list[tuple[int, ...]]:
     """Mask twin of the reference ``_prune_non_maximal`` (same near-linear
-    single-coordinate-enlargement argument, with int-subset tests)."""
+    single-coordinate-enlargement argument, with int-subset tests).
+
+    Membership structures are dicts rather than sets so the hot loop
+    allocates nothing set-shaped (RL010); insertion order is irrelevant
+    because only key lookups are performed.
+    """
     candidates = list(candidate_sets)
-    passing = {tuple(sorted(sets)) for sets in configurations}
+    passing = dict.fromkeys(tuple(sorted(sets)) for sets in configurations)
     supersets: dict[int, list[int]] = {
         mask: [other for other in candidates if is_strict_subset(mask, other)]
         for mask in candidates
@@ -530,60 +893,53 @@ def maximize_node_constraint_kernel(
     """
     kernel = KernelProblem.of(problem)
     interner = kernel.interner
-    candidates = kernel.node_right_closed_sets()
+    with _prof_section("node_max.right_closed"):
+        candidates = kernel.node_right_closed_sets()
     _trace.add("node.right_closed_sets", len(candidates))
-    shift = kernel.delta.bit_length()
-    member_steps = tuple(
-        tuple(1 << (shift * label_id) for label_id in iter_bits(mask))
-        for mask in candidates
-    )
-    closure = kernel.node_prefix_closure()
+    with _prof_section("node_max.prefix_closure"):
+        kernel.node_prefix_closure()
+    with _prof_section("node_max.machine"):
+        _elements, trans = kernel.node_dfs_machine()
+    member_labels = tuple(tuple(bits_list(mask)) for mask in candidates)
     delta = kernel.delta
     parallel_requested = pool is not None or (
         workers is not None and workers > 1
     )
-    if parallel_requested and len(candidates) > 1:
-        from repro.core.kernel.parallel import (
-            KernelPool,
-            run_chunks_serial,
-        )
-
-        payload = (candidates, member_steps, closure, delta)
-        count = len(candidates)
-        if pool is not None:
-            chunks = pool.map_chunks(
-                "node-max", payload, count, phase="node-maximization"
+    with _prof_section("node_max.dfs"):
+        if parallel_requested and len(candidates) > 1:
+            from repro.core.kernel.parallel import (
+                KernelPool,
+                run_chunks_serial,
             )
-        else:
-            with KernelPool(workers) as owned:
-                chunks = owned.map_chunks(
+
+            payload = (candidates, member_labels, trans, delta)
+            count = len(candidates)
+            if pool is not None:
+                chunks = pool.map_chunks(
                     "node-max", payload, count, phase="node-maximization"
                 )
-        if chunks is None:
-            chunks = run_chunks_serial(
-                "node-max", payload, count, phase="node-maximization"
+            else:
+                with KernelPool(workers) as owned:
+                    chunks = owned.map_chunks(
+                        "node-max", payload, count, phase="node-maximization"
+                    )
+            if chunks is None:
+                chunks = run_chunks_serial(
+                    "node-max", payload, count, phase="node-maximization"
+                )
+            results = [item for chunk in chunks for item in chunk]
+        else:
+            results = _maximization_dfs(
+                candidates,
+                member_labels,
+                trans,
+                delta,
+                0,
+                len(candidates),
+                budget_phase="node-maximization",
             )
-        results = [item for chunk in chunks for item in chunk]
-    else:
-        results = []
-
-        def extend(start: int, chosen: list[int], frontier: frozenset[int]) -> None:
-            _budget.check_configurations(
-                len(results), phase="node-maximization", depth=len(chosen)
-            )
-            if len(chosen) == delta:
-                results.append(tuple(chosen))
-                return
-            for index in range(start, len(candidates)):
-                grown = grow_frontier(frontier, member_steps[index], closure)
-                if grown is None:
-                    continue
-                chosen.append(candidates[index])
-                extend(index, chosen, grown)
-                chosen.pop()
-
-        extend(0, [], frozenset([0]))
-    maximal = prune_non_maximal_masks(results, candidates)
+    with _prof_section("node_max.prune"):
+        maximal = prune_non_maximal_masks(results, candidates)
     if not maximal:
         raise InvalidProblem(
             "node constraint admits no maximal configuration",
@@ -592,54 +948,138 @@ def maximize_node_constraint_kernel(
             delta=delta,
             candidate_sets=len(candidates),
         )
-    return Constraint(
-        Configuration(interner.labels_of_mask(mask) for mask in sets)
-        for sets in maximal
-    )
+    with _prof_section("node_max.materialize"):
+        return Constraint(
+            Configuration(interner.labels_of_mask(mask) for mask in sets)
+            for sets in maximal
+        )
 
 
 # ---------------------------------------------------------------------------
 # Existential steps
 # ---------------------------------------------------------------------------
 
+# hotpath
+def _existential_dfs(
+    member_labels: tuple[tuple[int, ...], ...],
+    trans: tuple[tuple[int, ...], ...],
+    arity: int,
+    lo: int,
+    hi: int,
+    budget_phase: str | None = None,
+    stats: dict | None = None,
+) -> list[tuple[int, ...]]:
+    """The iterative keep-survivors DFS over the closure machine.
+
+    Same frame shape as :func:`_maximization_dfs`; the grow step ORs
+    the surviving transitions instead of failing on the first invalid
+    one, and an empty grown frontier (mask ``0``, impossible after a
+    successful step since element 0 is never re-entered) prunes the
+    branch.  Emits label-*index* tuples; the caller owns the label
+    list.
+    """
+    results: list[tuple[int, ...]] = []
+    count = len(member_labels)
+    element_count = len(trans[0]) if trans else 1
+    element_range = range(element_count)
+    # Same lazy per-label image memo as the maximization driver, minus
+    # the validity masks: a label that cannot extend from an element
+    # simply contributes no bit, and a branch dies only when the whole
+    # grown frontier comes out empty.
+    label_image: dict[int, list[int]] = {}
+    rows: list[list[int] | None] = [None] * count
+    grow_calls = 0
+    if budget_phase is not None:
+        _budget.check_configurations(0, phase=budget_phase, depth=0)
+    chosen: list[int] = []
+    stack: list[list] = [[lo, hi, 1, None]]
+    while stack:
+        frame = stack[-1]
+        cursor = frame[0]
+        if cursor == frame[1]:
+            stack.pop()
+            if chosen:
+                chosen.pop()
+            continue
+        frame[0] = cursor + 1
+        grow_calls += 1
+        frontier = frame[2]
+        row = rows[cursor]
+        if row is None:
+            images: list[list[int]] = []
+            for label_id in member_labels[cursor]:
+                image = label_image.get(label_id)
+                if image is None:
+                    transitions = trans[label_id]
+                    image = [
+                        (1 << transitions[element])
+                        if transitions[element] >= 0
+                        else 0
+                        for element in element_range
+                    ]
+                    label_image[label_id] = image
+                images.append(image)
+            row = list(images[0])
+            for image in images[1:]:
+                row = [left | right for left, right in zip(row, image)]
+            rows[cursor] = row
+        members = frame[3]
+        if members is None:
+            members = []
+            remaining = frontier
+            while remaining:
+                low_bit = remaining & -remaining
+                members.append(low_bit.bit_length() - 1)
+                remaining ^= low_bit
+            frame[3] = members
+        grown = 0
+        for element in members:
+            grown |= row[element]
+        if grown == 0:
+            continue
+        chosen.append(cursor)
+        depth = len(chosen)
+        if depth == arity:
+            if budget_phase is not None:
+                _budget.check_configurations(
+                    len(results), phase=budget_phase, depth=depth
+                )
+            results.append(tuple(chosen))
+            chosen.pop()
+            continue
+        if budget_phase is not None:
+            _budget.check_configurations(
+                len(results), phase=budget_phase, depth=depth
+            )
+        stack.append([cursor, count, grown, None])
+    if stats is not None:
+        stats["grow_calls"] = stats.get("grow_calls", 0) + grow_calls
+    return results
+
+
+# hotpath
 def search_existential_chunk(
-    member_steps: tuple[tuple[int, ...], ...],
-    closure: frozenset[int],
+    member_labels: tuple[tuple[int, ...], ...],
+    trans: tuple[tuple[int, ...], ...],
     arity: int,
     first_index: int,
+    stats: dict | None = None,
 ) -> list[tuple[int, ...]]:
     """Explore the existential DFS subtree rooted at label ``first_index``.
 
     Returns label-*index* tuples (the caller owns the label list); the
-    union over ``first_index = 0 .. len(member_steps) - 1`` is exactly
+    union over ``first_index = 0 .. len(member_labels) - 1`` is exactly
     the serial search's configuration set, since the serial DFS chooses
     its first label in the same index order.
     """
-    results: list[tuple[int, ...]] = []
-    initial = grow_frontier_exists(
-        frozenset([0]), member_steps[first_index], closure
+    return _existential_dfs(
+        member_labels,
+        trans,
+        arity,
+        first_index,
+        first_index + 1,
+        stats=stats,
     )
-    if not initial:
-        return results
-    if arity == 1:
-        return [(first_index,)]
-
-    def extend(
-        start: int, chosen: list[int], frontier: frozenset[int]
-    ) -> None:
-        if len(chosen) == arity:
-            results.append(tuple(chosen))
-            return
-        for index in range(start, len(member_steps)):
-            grown = grow_frontier_exists(frontier, member_steps[index], closure)
-            if not grown:
-                continue
-            chosen.append(index)
-            extend(index, chosen, grown)
-            chosen.pop()
-
-    extend(first_index, [first_index], initial)
-    return results
 
 
 def existential_constraint_kernel(
@@ -654,65 +1094,51 @@ def existential_constraint_kernel(
     With a usable ``pool`` the DFS fans out chunked by the first chosen
     label; the set union of the chunks equals the serial result.
     """
-    labels = sorted(set(new_labels), key=_set_sort_key)
-    base: set[Hashable] = set(old_constraint.labels_used())
-    for label_set in labels:
-        base |= label_set
-    interner = LabelInterner(base)
-    shift = max(arity, old_constraint.arity).bit_length()
-    member_steps = tuple(
-        tuple(
-            1 << (shift * label_id)
-            for label_id in sorted(interner.id_of(member) for member in label_set)
+    with _prof_section("exists.closure"):
+        labels = sorted(set(new_labels), key=_set_sort_key)
+        base: set[Hashable] = set(old_constraint.labels_used())
+        for label_set in labels:
+            base |= label_set
+        interner = LabelInterner(base)
+        shift = max(arity, old_constraint.arity).bit_length()
+        member_labels = tuple(
+            tuple(sorted(interner.id_of(member) for member in label_set))
+            for label_set in labels
         )
-        for label_set in labels
-    )
-    closure: set[int] = set()
-    for configuration in old_constraint.configurations:
-        items = interner.ids_of(configuration.items)
-        for size in range(len(items) + 1):
-            for combo in itertools.combinations(items, size):
-                closure.add(pack_ids(combo, shift))
-    closure_frozen = frozenset(closure)
-    results: set[Configuration] = set()
-    if pool is not None and len(labels) > 1:
-        from repro.core.kernel.parallel import run_chunks_serial
+        closure: set[int] = set()
+        for configuration in old_constraint.configurations:
+            items = interner.ids_of(configuration.items)
+            for size in range(len(items) + 1):
+                for combo in itertools.combinations(items, size):
+                    closure.add(pack_ids(combo, shift))
+        _elements, trans = closure_machine(closure, shift, len(interner))
+    with _prof_section("exists.dfs"):
+        if pool is not None and len(labels) > 1:
+            from repro.core.kernel.parallel import run_chunks_serial
 
-        payload = (member_steps, closure_frozen, arity)
-        chunks = pool.map_chunks(
-            "exists", payload, len(labels), phase="existential"
-        )
-        if chunks is None:
-            chunks = run_chunks_serial(
+            payload = (member_labels, trans, arity)
+            chunks = pool.map_chunks(
                 "exists", payload, len(labels), phase="existential"
             )
-        results = {
-            Configuration(labels[index] for index in ids)
-            for chunk in chunks
-            for ids in chunk
-        }
-    else:
-
-        def extend(
-            start: int, chosen: list[frozenset], frontier: frozenset[int]
-        ) -> None:
-            _budget.check_configurations(
-                len(results), phase="existential", depth=len(chosen)
-            )
-            if len(chosen) == arity:
-                results.add(Configuration(chosen))
-                return
-            for index in range(start, len(labels)):
-                grown = grow_frontier_exists(
-                    frontier, member_steps[index], closure_frozen
+            if chunks is None:
+                chunks = run_chunks_serial(
+                    "exists", payload, len(labels), phase="existential"
                 )
-                if not grown:
-                    continue
-                chosen.append(labels[index])
-                extend(index, chosen, grown)
-                chosen.pop()
-
-        extend(0, [], frozenset([0]))
+            index_tuples = [ids for chunk in chunks for ids in chunk]
+        else:
+            index_tuples = _existential_dfs(
+                member_labels,
+                trans,
+                arity,
+                0,
+                len(labels),
+                budget_phase="existential",
+            )
+    with _prof_section("exists.materialize"):
+        results: set[Configuration] = {
+            Configuration(labels[index] for index in ids)
+            for ids in index_tuples
+        }
     if not results:
         raise InvalidProblem(
             "existential step produced an empty constraint",
@@ -940,6 +1366,8 @@ __all__ = [
     "grow_frontier_exists",
     "pack_ids",
     "unpack_ids",
+    "partner_mask",
+    "closure_machine",
     "search_maximization_chunk",
     "search_existential_chunk",
     "edge_pairing_chunk",

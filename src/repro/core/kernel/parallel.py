@@ -184,19 +184,22 @@ def run_chunks_serial(
 
 def search_maximization_parallel(
     candidates: tuple[int, ...],
-    member_steps: tuple[tuple[int, ...], ...],
-    closure: frozenset[int],
+    member_labels: tuple[tuple[int, ...], ...],
+    trans: tuple[tuple[int, ...], ...],
     arity: int,
     workers: int,
 ) -> list[tuple[int, ...]]:
     """Run the maximization DFS chunked across ``workers`` processes.
 
-    Returns the same list, in the same order, as the serial search.
-    Kept as the stable entry point for callers without a shared
+    Takes the machine form of the search state (per-candidate member
+    label ids plus the closure transition table of
+    :func:`repro.core.kernel.engine.closure_machine`).  Returns the
+    same list, in the same order, as the serial search.  Kept as the
+    stable entry point for callers without a shared
     :class:`KernelPool`; falls back to the serial chunk loop when the
     fleet cannot help.
     """
-    payload = (candidates, member_steps, closure, arity)
+    payload = (candidates, member_labels, trans, arity)
     count = len(candidates)
     with KernelPool(workers) as pool:
         chunks = pool.map_chunks(

@@ -190,19 +190,42 @@ class Shard:
         return self.hi - self.lo
 
 
-def unit_estimates(kind: str, count: int) -> list[int]:
+def unit_estimates(
+    kind: str, count: int, unit_bytes: int = UNIT_BYTES
+) -> list[int]:
     """Cheap per-unit size estimates, in nominal bytes.
 
     ``node-max`` / ``exists`` unit ``i`` explores the DFS subtree whose
     first choice is candidate ``i``, which touches only candidates
     ``>= i`` — its estimate is the candidate-suffix volume
-    ``(count - i) * UNIT_BYTES``.  ``edge-pair`` units are independent
-    closed sets, one flat charge each (slice width).
+    ``(count - i) * unit_bytes``.  ``edge-pair`` units are independent
+    closed sets, one flat charge each (slice width).  Callers that know
+    the payload pass a payload-aware ``unit_bytes`` from
+    :func:`payload_unit_bytes`; the default is the flat nominal charge.
     """
     if kind in ("node-max", "exists"):
-        return [(count - index) * UNIT_BYTES for index in range(count)]
+        return [(count - index) * unit_bytes for index in range(count)]
     if kind == "edge-pair":
-        return [UNIT_BYTES] * count
+        return [unit_bytes] * count
+    raise EngineMisuse(f"unknown chunk kind: {kind}")
+
+
+def payload_unit_bytes(kind: str, payload: tuple[Any, ...]) -> int:
+    """A payload-aware per-unit charge, never below :data:`UNIT_BYTES`.
+
+    The DFS kinds carry a closure machine whose per-frontier state (an
+    int bitmask over machine elements, memoized per candidate) scales
+    with the element count, so each unit is charged an extra byte per
+    eight machine elements on top of the flat nominal charge.
+    ``edge-pair`` frontier state is a single mask; it keeps the flat
+    charge.
+    """
+    if kind in ("node-max", "exists"):
+        trans = payload[2] if kind == "node-max" else payload[1]
+        elements = len(trans[0]) if trans else 0
+        return UNIT_BYTES + elements // 8
+    if kind == "edge-pair":
+        return UNIT_BYTES
     raise EngineMisuse(f"unknown chunk kind: {kind}")
 
 
@@ -248,21 +271,21 @@ def run_shard_serial(
     contract retries, splits, and resume all lean on.
     """
     if kind == "node-max":
-        candidates, member_steps, closure, arity = payload
+        candidates, member_labels, trans, arity = payload
         results: list[Any] = []
         for index in range(lo, hi):
             results.extend(
                 search_maximization_chunk(
-                    candidates, member_steps, closure, arity, index
+                    candidates, member_labels, trans, arity, index
                 )
             )
         return results
     if kind == "exists":
-        member_steps, closure, arity = payload
+        member_labels, trans, arity = payload
         results = []
         for index in range(lo, hi):
             results.extend(
-                search_existential_chunk(member_steps, closure, arity, index)
+                search_existential_chunk(member_labels, trans, arity, index)
             )
         return results
     if kind == "edge-pair":
@@ -632,7 +655,9 @@ class ShardScheduler:
             count=count,
             phase=phase,
             traced=_trace.tracing_enabled(),
-            estimates=unit_estimates(kind, count),
+            estimates=unit_estimates(
+                kind, count, payload_unit_bytes(kind, payload)
+            ),
             max_retries=self._resolved_retries(),
             inflight_cap=self._resolved_inflight_cap(),
         )
@@ -1059,6 +1084,7 @@ __all__ = [
     "active_policy",
     "Shard",
     "unit_estimates",
+    "payload_unit_bytes",
     "plan_shards",
     "shard_estimate",
     "run_shard_serial",

@@ -1,4 +1,4 @@
-"""The project-invariant rule catalogue, RL001 through RL009.
+"""The project-invariant rule catalogue, RL001 through RL010.
 
 Each rule guards one convention the engine's correctness story leans
 on but that nothing else checks mechanically:
@@ -25,6 +25,12 @@ on but that nothing else checks mechanically:
   non-empty golden trace case, and a ``.scn`` spec filename.  A
   scenario outside the differential and golden gates is an untested
   workload pretending otherwise.
+* RL010 — kernel functions marked ``# hotpath`` stay allocation-free
+  of ``set``/``frozenset``: the engine-v2 inner loops speak int
+  bitmasks end to end, and a set sneaking back into a marked function
+  is exactly the regression the Δ=5 bench gate would later catch the
+  slow way.  Mark a function by placing ``# hotpath`` on its ``def``
+  line or on the line directly above it.
 
 Rules are pure AST passes over one file at a time; scope is decided
 from the file's path parts so the same rule set runs identically over
@@ -637,6 +643,41 @@ def _check_rl009(context: FileContext) -> Iterator[Violation]:
 
 
 # ---------------------------------------------------------------------------
+# RL010 — hotpath-marked kernel functions allocate no sets
+# ---------------------------------------------------------------------------
+
+#: The exact marker comment that opts a function into RL010.
+_HOTPATH_MARKER = "# hotpath"
+
+
+def _hotpath_functions(
+    context: FileContext,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Functions marked ``# hotpath`` on the def line or the line above."""
+    lines = context.source.splitlines()
+    for node in ast.walk(context.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        def_line = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
+        above = lines[node.lineno - 2] if node.lineno >= 2 else ""
+        if _HOTPATH_MARKER in def_line or above.strip() == _HOTPATH_MARKER:
+            yield node
+
+
+def _check_rl010(context: FileContext) -> Iterator[Violation]:
+    for function in _hotpath_functions(context):
+        for node in ast.walk(function):
+            if isinstance(node, ast.expr) and _is_setish(node):
+                yield _violation(
+                    context, node, "RL010",
+                    f"set/frozenset allocated inside `# hotpath` function "
+                    f"{function.name!r}: the kernel hot path speaks int "
+                    "bitmasks only — hoist the set build to a cold "
+                    "(unmarked) helper or drop the marker",
+                )
+
+
+# ---------------------------------------------------------------------------
 # The catalogue
 # ---------------------------------------------------------------------------
 
@@ -729,6 +770,16 @@ RULES: Sequence[Rule] = (
         ),
         applies=_in_scenarios,
         check=_check_rl009,
+    ),
+    Rule(
+        code="RL010",
+        name="hotpath-no-set-alloc",
+        summary=(
+            "kernel functions marked `# hotpath` allocate no "
+            "set/frozenset (int-bitmask loops only)"
+        ),
+        applies=_in_kernel,
+        check=_check_rl010,
     ),
 )
 

@@ -13,6 +13,9 @@ governance (:mod:`repro.robustness`) and the kernel fast path
   differential tests rely on.
 * :mod:`repro.observability.metrics` — aggregation of finished traces:
   per-phase tables, counter totals, semantic profiles and their diffs.
+* :mod:`repro.observability.profiling` — ambient hot-spot sampling
+  (install with :func:`profiling`): per-op wall time and allocation
+  counts, emitted as ``prof.op`` spans for the hotspots report.
 
 Tracing is off by default; with no ambient tracer every hook is a
 single context-variable read, so instrumented hot paths stay within the
@@ -25,6 +28,12 @@ from repro.observability.metrics import (
     summarize_phases,
     total_counters,
     trace_summary_line,
+)
+from repro.observability.profiling import (
+    Profiler,
+    active_profiler,
+    profiling,
+    profiling_enabled,
 )
 from repro.observability.schema import (
     SCHEMA_VERSION,
@@ -44,6 +53,10 @@ __all__ = [
     "tracing",
     "active_tracer",
     "tracing_enabled",
+    "Profiler",
+    "profiling",
+    "active_profiler",
+    "profiling_enabled",
     "SCHEMA_VERSION",
     "SEMANTIC_COUNTERS",
     "validate_trace",

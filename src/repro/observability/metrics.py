@@ -124,6 +124,122 @@ def render_phase_table(records: list[dict]) -> str:
     return "\n".join(lines)
 
 
+def hotspot_profile(records: list[dict]) -> dict:
+    """Aggregate the ``prof.op`` spans of a trace against kernel wall.
+
+    Returns::
+
+        {
+            "ops": {op: {"calls", "wall_ns", "alloc_blocks"}},
+            "profiled_seconds": float,   # sum of prof.wall_ns
+            "kernel_seconds": float,     # outermost engine=="kernel" spans
+            "coverage": float | None,    # profiled / kernel, None if no wall
+        }
+
+    The denominator is the summed duration of *outermost* kernel spans
+    — spans whose ``engine`` attribute is ``"kernel"`` and whose parent
+    chain contains no other such span — so nested operator spans are
+    not double-counted.  A coverage near 1.0 means the profiler's
+    sections tile essentially all traced kernel work;
+    ``tools/trace_report.py hotspots --min-coverage`` gates on it.
+    """
+    spans = spans_of(records)
+    by_id = {span["id"]: span for span in spans}
+    ops: dict[str, dict[str, int]] = {}
+    profiled_ns = 0
+    for span in spans:
+        if span["name"] != "prof.op":
+            continue
+        op = str(span["attrs"].get("op", "?"))
+        entry = ops.setdefault(
+            op, {"calls": 0, "wall_ns": 0, "alloc_blocks": 0}
+        )
+        counters = span["counters"]
+        entry["calls"] += counters.get("prof.calls", 0)
+        entry["wall_ns"] += counters.get("prof.wall_ns", 0)
+        entry["alloc_blocks"] += counters.get("prof.alloc_blocks", 0)
+        profiled_ns += counters.get("prof.wall_ns", 0)
+
+    def outermost_kernel(span: dict) -> bool:
+        if span["attrs"].get("engine") != "kernel":
+            return False
+        parent_id = span["parent"]
+        while parent_id is not None:
+            parent = by_id.get(parent_id)
+            if parent is None:
+                break
+            if parent["attrs"].get("engine") == "kernel":
+                return False
+            parent_id = parent["parent"]
+        return True
+
+    kernel_seconds = sum(
+        span["duration_s"] for span in spans if outermost_kernel(span)
+    )
+    profiled_seconds = profiled_ns / 1e9
+    coverage = (
+        profiled_seconds / kernel_seconds if kernel_seconds > 0 else None
+    )
+    return {
+        "ops": ops,
+        "profiled_seconds": profiled_seconds,
+        "kernel_seconds": kernel_seconds,
+        "coverage": coverage,
+    }
+
+
+def render_hotspot_table(records: list[dict]) -> str:
+    """The hot-spot profile as an aligned text table, hottest first.
+
+    One row per profiled op: sample count, summed wall milliseconds,
+    share of the profiled total, and net allocated-block delta — then
+    a coverage line relating the profiled total to the traced kernel
+    wall time.
+    """
+    profile = hotspot_profile(records)
+    header = ("op", "calls", "wall_ms", "share", "alloc_blocks")
+    rows = [header]
+    total_ns = sum(entry["wall_ns"] for entry in profile["ops"].values())
+    ordered = sorted(
+        profile["ops"].items(),
+        key=lambda item: item[1]["wall_ns"],
+        reverse=True,
+    )
+    for op, entry in ordered:
+        share = entry["wall_ns"] / total_ns if total_ns else 0.0
+        rows.append(
+            (
+                op,
+                str(entry["calls"]),
+                f"{entry['wall_ns'] / 1e6:.3f}",
+                f"{share:.1%}",
+                str(entry["alloc_blocks"]),
+            )
+        )
+    widths = [
+        max(len(row[column]) for row in rows)
+        for column in range(len(header))
+    ]
+    lines = [
+        "  ".join(
+            row[column].ljust(widths[column]) for column in range(len(header))
+        ).rstrip()
+        for row in rows
+    ]
+    if profile["coverage"] is None:
+        lines.append(
+            f"coverage: profiled {profile['profiled_seconds']:.6f}s, "
+            "no traced kernel spans"
+        )
+    else:
+        lines.append(
+            f"coverage: profiled {profile['profiled_seconds']:.6f}s of "
+            f"{profile['kernel_seconds']:.6f}s traced kernel wall "
+            f"({profile['coverage']:.1%})"
+        )
+    return "\n".join(lines)
+
+
 def trace_summary_line(records: list[dict]) -> str:
     """A one-line digest for provenance trails and logs."""
     spans = spans_of(records)
@@ -150,5 +266,7 @@ __all__ = [
     "semantic_profile",
     "diff_semantic_profiles",
     "render_phase_table",
+    "hotspot_profile",
+    "render_hotspot_table",
     "trace_summary_line",
 ]

@@ -28,6 +28,14 @@ differential trace tests and ``tools/trace_report.py diff`` enforce
 exactly that, while timing/cache counters (``*.cache.hit``, ``mp.*``,
 ``budget.checkpoints``) are engine-specific by design.
 
+The ``prof.*`` counters are emitted by the hot-spot profiler
+(:mod:`repro.observability.profiling`) — one ``prof.op`` span per
+sampled operation with its call count, summed wall time in
+nanoseconds, and net allocated-block delta.  They are timing-class by
+construction (two runs of the same workload differ in every one), as
+is ``kernel.intern.transported``, which counts interned-artifact
+bundles transported through a relabeling instead of recomputed.
+
 The ``service.*`` counters are emitted by the job orchestrator
 (:mod:`repro.service.orchestrator`), one span per job: ``service.jobs``
 (jobs executed), ``service.dedup`` (jobs served by replaying an
@@ -80,6 +88,10 @@ TIMING_COUNTERS = (
     "mp.spilled_bytes",
     "mp.spill_loads",
     "mp.mem_admitted_peak",
+    "kernel.intern.transported",
+    "prof.calls",
+    "prof.wall_ns",
+    "prof.alloc_blocks",
     "sim.messages",
     "sim.rounds",
     "service.jobs",

@@ -1,0 +1,19 @@
+"""Shared test fixtures.
+
+The kernel's transport registry is process-global by design (chains
+reuse interned artifacts across steps), but cross-test reuse would make
+cache-counter assertions order-dependent — a problem interned by an
+earlier test could serve as a transport source for a later one.  Every
+test therefore starts with an empty registry.
+"""
+
+import pytest
+
+from repro.core.kernel.interning import transport_registry
+
+
+@pytest.fixture(autouse=True)
+def _fresh_transport_registry():
+    transport_registry().clear()
+    yield
+    transport_registry().clear()

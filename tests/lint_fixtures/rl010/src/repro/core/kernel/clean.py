@@ -1,0 +1,22 @@
+"""RL010 fixture: the idiomatic fix — int bitmasks in the hot loop.
+
+The cold helper below shows the rule's scope: an *unmarked* function
+in the same kernel module may build sets freely.
+"""
+
+from __future__ import annotations
+
+
+# hotpath
+def _grow(frontier: int, rows: tuple[int, ...]) -> int:
+    grown = 0
+    cursor = frontier
+    while cursor:
+        low = cursor & -cursor
+        grown |= rows[low.bit_length() - 1]
+        cursor ^= low
+    return grown
+
+
+def _materialize(masks: tuple[int, ...]) -> frozenset[int]:
+    return frozenset(masks)

@@ -1,0 +1,12 @@
+"""RL010 fixture: hot-path set allocation, explicitly suppressed."""
+
+from __future__ import annotations
+
+
+# hotpath
+def _grow(frontier: int, masks: tuple[int, ...]) -> int:
+    survivors = {mask for mask in masks if frontier & mask}  # reprolint: disable=RL010 -- fixture exercising suppression
+    grown = 0
+    for mask in sorted(survivors):
+        grown |= mask
+    return grown

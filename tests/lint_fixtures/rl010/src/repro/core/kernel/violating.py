@@ -1,0 +1,15 @@
+"""RL010 fixture: set allocation inside a ``# hotpath`` function."""
+
+from __future__ import annotations
+
+
+# hotpath
+def _grow(frontier: int, masks: tuple[int, ...]) -> int:
+    survivors = set()
+    for mask in masks:
+        if frontier & mask:
+            survivors.add(mask)
+    grown = 0
+    for mask in sorted(survivors):
+        grown |= mask
+    return grown

@@ -63,6 +63,11 @@ def classic_corpus() -> list[tuple[str, Problem]]:
         ("family320", family_problem(3, 2, 0)),
         ("family431", family_problem(4, 3, 1)),
         ("family441", family_problem(4, 4, 1)),
+        # Appended last so prefix slices over the corpus stay stable:
+        # the Δ=5 quick case exercises the sizes the hot-path DFS
+        # optimization targets (its one-step speedup is cheap on both
+        # engines; only multi-step chains hit the expensive regime).
+        ("mis5", mis_problem(5)),
     ]
 
 

@@ -205,17 +205,13 @@ def test_chunk_concatenation_equals_serial(name, problem):
     renamed = rename_to_strings(R(problem, use_kernel=True)).problem
     kernel = KernelProblem.of(renamed)
     candidates = kernel.node_right_closed_sets()
-    closure = kernel.node_prefix_closure()
-    shift = kernel.delta.bit_length()
-    member_steps = tuple(
-        tuple(1 << (shift * label_id) for label_id in iter_bits(mask))
-        for mask in candidates
-    )
+    _elements, trans = kernel.node_dfs_machine()
+    member_labels = tuple(tuple(iter_bits(mask)) for mask in candidates)
     serial: list[tuple[int, ...]] = []
     for first_index in range(len(candidates)):
         serial.extend(
             search_maximization_chunk(
-                candidates, member_steps, closure, kernel.delta, first_index
+                candidates, member_labels, trans, kernel.delta, first_index
             )
         )
     # Chunks are disjoint and each result starts with its chunk's set.

@@ -1,0 +1,205 @@
+"""Cross-step interned-artifact transport (the renaming fast path).
+
+``KernelProblem.of`` consults a process-global transport registry: when
+the incoming problem is a *renaming* of a previously-interned one —
+same structure key, same memoized canonical fingerprint — the old
+problem's artifacts (Galois lattice, partner cache, ge-masks,
+right-closed sets, prefix closure, DFS machine) are permuted through
+the relabeling instead of recomputed.  Fingerprints are only ever read
+from the canonical-form memo (:func:`repro.core.cache.cached_fingerprint`),
+never computed, so the transport probe fires no canonicalization
+budget checkpoints; condensed chain iterates qualify because
+``condense`` canonicalizes its input first.
+
+These tests pin both halves of the contract: transported views are
+*exactly* equal to fresh builds, and chains actually stop paying the
+interning tax (``kernel.intern.transported`` fires, ``galois.cache.miss``
+stops growing once the registry is warm).
+"""
+
+import random
+
+from collections import defaultdict
+
+from repro.core.cache import canonical_form
+from repro.core.kernel.engine import KernelProblem
+from repro.core.kernel.interning import transport_registry
+from repro.core.problem import Problem
+from repro.core.self_reduction import condense_problem, self_reduce
+from repro.observability.trace import Tracer, tracing
+from repro.problems.classic import sinkless_orientation_problem
+from repro.problems.mis import mis_problem
+
+
+def _renamed_copy(problem: Problem, mapping: dict) -> Problem:
+    return Problem(
+        [mapping[label] for label in problem.alphabet],
+        problem.node_constraint.rename(mapping),
+        problem.edge_constraint.rename(mapping),
+        name=f"renamed({problem.name})",
+    )
+
+
+class TestTransportedView:
+    def test_renamed_problem_transports(self):
+        """A canonicalized renaming of an interned problem is served by
+        transport, not a fresh build."""
+        problem = mis_problem(3)
+        canonical_form(problem)
+        KernelProblem.of(problem)
+        renamed = _renamed_copy(problem, {"M": "Z2", "P": "Z0", "O": "Z1"})
+        canonical_form(renamed)
+        tracer = Tracer()
+        with tracing(tracer):
+            KernelProblem.of(renamed)
+        counters: dict = defaultdict(int)
+        for record in tracer.finish():
+            if record["type"] == "span":
+                for key, value in record["counters"].items():
+                    counters[key] += value
+        assert counters["kernel.intern.transported"] == 1
+        assert counters["kernel.cache.miss"] == 0
+
+    def test_transport_requires_memoized_fingerprint(self):
+        """Without a canonical-form memo the probe must stay silent —
+        it never computes fingerprints (that would fire budget
+        checkpoints mid-interning)."""
+        problem = mis_problem(3)
+        canonical_form(problem)
+        KernelProblem.of(problem)
+        renamed = _renamed_copy(problem, {"M": "Z2", "P": "Z0", "O": "Z1"})
+        # No canonical_form(renamed): fingerprint memo is cold.
+        tracer = Tracer()
+        with tracing(tracer):
+            KernelProblem.of(renamed)
+        counters: dict = defaultdict(int)
+        for record in tracer.finish():
+            if record["type"] == "span":
+                for key, value in record["counters"].items():
+                    counters[key] += value
+        assert counters["kernel.intern.transported"] == 0
+        assert counters["kernel.cache.miss"] == 1
+
+    def test_transported_view_equals_fresh_build(self):
+        """Every transported artifact matches a from-scratch interning
+        of the renamed problem exactly."""
+        rng = random.Random(97)
+        for mapping in (
+            {"M": "Z2", "P": "Z0", "O": "Z1"},
+            {"M": "A", "P": "C", "O": "B"},
+        ):
+            transport_registry().clear()
+            problem = mis_problem(3)
+            canonical_form(problem)
+            source = KernelProblem.of(problem)
+            # Warm the source's lazy artifacts so they all transport.
+            source.galois_closed_sets()
+            source.node_right_closed_sets()
+            source.node_ge_masks()
+            source.edge_ge_masks()
+            source.node_prefix_closure()
+            source.node_dfs_machine()
+            renamed = _renamed_copy(problem, mapping)
+            canonical_form(renamed)
+            transported = KernelProblem.of(renamed)
+            fresh = KernelProblem(renamed)
+            assert transported.n == fresh.n
+            assert transported.delta == fresh.delta
+            assert transported.compat == fresh.compat
+            assert transported.node_configs == fresh.node_configs
+            assert (
+                transported.galois_closed_sets()
+                == fresh.galois_closed_sets()
+            )
+            assert (
+                transported.node_right_closed_sets()
+                == fresh.node_right_closed_sets()
+            )
+            assert transported.node_ge_masks() == fresh.node_ge_masks()
+            assert transported.edge_ge_masks() == fresh.edge_ge_masks()
+            assert (
+                transported.node_prefix_closure()
+                == fresh.node_prefix_closure()
+            )
+            assert transported.node_dfs_machine() == fresh.node_dfs_machine()
+            universe = (1 << fresh.n) - 1
+            for _ in range(30):
+                mask = rng.getrandbits(fresh.n) & universe
+                assert transported.partner(mask) == fresh.partner(mask)
+
+
+def _per_step_counters(records: list[dict]) -> list[dict]:
+    """Counter totals per ``op.self_reduce`` span (descendants summed),
+    in execution order."""
+    spans = [r for r in records if r["type"] == "span"]
+    parent = {s["id"]: s["parent"] for s in spans}
+    step_ids = sorted(
+        s["id"] for s in spans if s["name"] == "op.self_reduce"
+    )
+    owners = set(step_ids)
+
+    def owner_of(span_id):
+        while span_id is not None:
+            if span_id in owners:
+                return span_id
+            span_id = parent.get(span_id)
+        return None
+
+    totals: dict = {sid: defaultdict(int) for sid in step_ids}
+    for span in spans:
+        owner = owner_of(span["id"])
+        if owner is None:
+            continue
+        for key, value in span["counters"].items():
+            totals[owner][key] += value
+    return [totals[sid] for sid in step_ids]
+
+
+class TestChainTransport:
+    def test_three_step_chain_transports_and_stops_missing(self):
+        """A 3-step self-reduction chain on the sinkless-orientation
+        fixed point: condensed iterates are renamed-isomorphic, so
+        every step after the first transports at least one interned
+        bundle, the per-step Galois miss count never grows past step
+        1's, and the fully-warm final step recomputes nothing."""
+        tracer = Tracer()
+        with tracing(tracer):
+            current = condense_problem(
+                sinkless_orientation_problem(3), use_kernel=True
+            )
+            for _ in range(3):
+                current = self_reduce(current, use_kernel=True).problem
+        steps = _per_step_counters(tracer.finish())
+        assert len(steps) == 3
+        transported = sum(s["kernel.intern.transported"] for s in steps)
+        assert transported >= 1
+        for later in steps[1:]:
+            assert later["kernel.intern.transported"] >= 1
+            assert (
+                later["galois.cache.miss"] <= steps[0]["galois.cache.miss"]
+            )
+        assert steps[-1]["galois.cache.miss"] == 0
+
+    def test_condense_never_misses_after_first_step(self):
+        """The condensed (canonicalized) iterates are exactly the
+        transport-eligible problems: no ``op.condense`` span after the
+        first chain step records a Galois lattice miss."""
+        tracer = Tracer()
+        with tracing(tracer):
+            current = condense_problem(
+                sinkless_orientation_problem(3), use_kernel=True
+            )
+            for _ in range(3):
+                current = self_reduce(current, use_kernel=True).problem
+        records = tracer.finish()
+        spans = [r for r in records if r["type"] == "span"]
+        step_ids = sorted(
+            s["id"] for s in spans if s["name"] == "op.self_reduce"
+        )
+        first_step = step_ids[0]
+        for span in spans:
+            if span["name"] != "op.condense":
+                continue
+            if span["id"] <= first_step:
+                continue
+            assert span["counters"].get("galois.cache.miss", 0) == 0

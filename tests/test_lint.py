@@ -45,6 +45,7 @@ FIXTURE_DIRS = {
     "RL007": FIXTURES / "rl007" / "src" / "repro" / "analysis",
     "RL008": FIXTURES / "rl008" / "src" / "repro" / "core",
     "RL009": FIXTURES / "rl009" / "src" / "repro" / "scenarios",
+    "RL010": FIXTURES / "rl010" / "src" / "repro" / "core" / "kernel",
 }
 
 
@@ -53,7 +54,7 @@ FIXTURE_DIRS = {
 # ---------------------------------------------------------------------------
 
 def test_catalogue_is_complete_and_ordered():
-    assert RULE_CODES == [f"RL00{i}" for i in range(1, 10)]
+    assert RULE_CODES == [f"RL{i:03d}" for i in range(1, 11)]
     assert len({rule.name for rule in RULES}) == len(RULES)
     for rule in RULES:
         assert rule.summary

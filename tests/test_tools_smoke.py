@@ -280,6 +280,71 @@ class TestTraceReport:
         assert completed.returncode == 0
         assert "Exit status" in completed.stdout
 
+    def test_hotspots_renders_profiled_trace_and_gates(self, tmp_path):
+        trace = tmp_path / "profiled.jsonl"
+        completed = run_script(
+            "-c",
+            "from repro.problems.mis import mis_problem\n"
+            "from repro.core.round_elimination import speedup\n"
+            "from repro.observability.trace import Tracer, tracing\n"
+            "from repro.observability.profiling import Profiler, profiling\n"
+            "tracer = Tracer()\n"
+            "with tracing(tracer), profiling(Profiler()):\n"
+            "    q = mis_problem(4)\n"
+            "    for _ in range(2):\n"
+            "        q = speedup(q, use_kernel=True).problem\n"
+            f"tracer.write({str(trace)!r})\n",
+        )
+        assert completed.returncode == 0, completed.stderr
+        rendered = run_script(
+            "tools/trace_report.py", "hotspots", str(trace)
+        )
+        assert rendered.returncode == 0, rendered.stderr
+        assert "node_max.dfs" in rendered.stdout
+        assert "coverage: profiled" in rendered.stdout
+        gated = run_script(
+            "tools/trace_report.py", "hotspots", str(trace),
+            "--min-coverage", "0.9",
+        )
+        assert gated.returncode == 0, gated.stderr
+        impossible = run_script(
+            "tools/trace_report.py", "hotspots", str(trace),
+            "--min-coverage", "1.5",
+        )
+        assert impossible.returncode == 1
+        assert "below required" in impossible.stderr
+
+    def test_hotspots_gate_fails_without_profiler_samples(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        write_demo_trace(trace)
+        ungated = run_script(
+            "tools/trace_report.py", "hotspots", str(trace)
+        )
+        assert ungated.returncode == 0, ungated.stderr
+        gated = run_script(
+            "tools/trace_report.py", "hotspots", str(trace),
+            "--min-coverage", "0.5",
+        )
+        assert gated.returncode == 1
+        assert "no profiler samples" in gated.stderr
+
+    def test_hotspots_usage_errors_exit_2(self, tmp_path):
+        no_operand = run_script("tools/trace_report.py", "hotspots")
+        assert no_operand.returncode == 2
+        assert no_operand.stderr.startswith("error:")
+        bad_number = run_script(
+            "tools/trace_report.py", "hotspots", "x.jsonl",
+            "--min-coverage", "lots",
+        )
+        assert bad_number.returncode == 2
+        assert bad_number.stderr.startswith("error:")
+        missing = run_script(
+            "tools/trace_report.py", "hotspots",
+            str(tmp_path / "absent.jsonl"),
+        )
+        assert missing.returncode == 2
+        assert missing.stderr.startswith("error:")
+
     def test_cache_summary_on_uncached_trace(self, tmp_path):
         trace = tmp_path / "trace.jsonl"
         write_demo_trace(trace)

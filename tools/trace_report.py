@@ -25,6 +25,17 @@ prints the hit rate.  With ``--min-hit-rate`` the exit status is 1
 when the observed rate falls below the threshold or when the trace
 shows no cache activity at all — CI uses this to assert that a warm
 rerun actually hit the cache.
+
+``hotspots`` aggregates the ``prof.op`` spans a profiled run
+(:func:`repro.observability.profiling.profiling`) emits into a
+hottest-first table — per-op sample count, summed wall milliseconds,
+share of the profiled total, net allocated blocks — plus a coverage
+line relating the profiled total to the traced kernel wall time
+(outermost ``engine="kernel"`` spans).  With ``--min-coverage`` the
+exit status is 1 when the profiled sections account for less than the
+given fraction of that wall time, or when the trace holds no profiler
+samples at all — the hot-path bench gate uses this to prove the
+profiler actually saw the run it claims to explain.
 """
 
 from __future__ import annotations
@@ -38,6 +49,8 @@ sys.path.insert(
 
 from repro.observability.metrics import (
     diff_semantic_profiles,
+    hotspot_profile,
+    render_hotspot_table,
     render_phase_table,
     semantic_profile,
     total_counters,
@@ -49,10 +62,11 @@ USAGE = (
     "usage: trace_report.py report <trace.jsonl>\n"
     "       trace_report.py diff <a.jsonl> <b.jsonl>\n"
     "       trace_report.py cache <trace.jsonl> [--min-hit-rate <fraction>]\n"
+    "       trace_report.py hotspots <trace.jsonl> [--min-coverage <fraction>]\n"
     "\n"
     "Exit status (unified across repro tooling):\n"
-    "    0  success / zero drift / hit rate at or above threshold\n"
-    "    1  drift: semantic counters differ, or cache gate failed\n"
+    "    0  success / zero drift / gate threshold met\n"
+    "    1  drift: semantic counters differ, or cache/coverage gate failed\n"
     "    2  usage error or unreadable/schema-invalid trace"
 )
 
@@ -127,6 +141,36 @@ def cache(path: str, minimum_hit_rate: float | None) -> int:
     return 0
 
 
+def hotspots(path: str, minimum_coverage: float | None) -> int:
+    records = _load(path)
+    print(render_hotspot_table(records))
+    if minimum_coverage is not None:
+        profile = hotspot_profile(records)
+        if not profile["ops"]:
+            print(
+                "error: no profiler samples in trace "
+                "(was profiling() active?)",
+                file=sys.stderr,
+            )
+            return 1
+        coverage = profile["coverage"]
+        if coverage is None:
+            print(
+                "error: no traced kernel spans to cover "
+                "(was the kernel engine used under tracing()?)",
+                file=sys.stderr,
+            )
+            return 1
+        if coverage < minimum_coverage:
+            print(
+                f"error: profiled sections cover {coverage:.1%} of kernel "
+                f"wall time, below required {minimum_coverage:.1%}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def main(argv: list[str]) -> int:
     if not argv:
         print(USAGE, file=sys.stderr)
@@ -155,6 +199,18 @@ def main(argv: list[str]) -> int:
         if len(operands) != 1:
             raise _fail("cache takes exactly one trace file\n" + USAGE)
         return cache(operands[0], minimum)
+    if command == "hotspots":
+        minimum_coverage: float | None = None
+        if "--min-coverage" in operands:
+            where = operands.index("--min-coverage")
+            try:
+                minimum_coverage = float(operands[where + 1])
+            except (IndexError, ValueError):
+                raise _fail("--min-coverage needs a number\n" + USAGE)
+            operands = operands[:where] + operands[where + 2 :]
+        if len(operands) != 1:
+            raise _fail("hotspots takes exactly one trace file\n" + USAGE)
+        return hotspots(operands[0], minimum_coverage)
     raise _fail(f"unknown command {command!r}\n" + USAGE)
 
 
