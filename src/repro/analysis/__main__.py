@@ -1,0 +1,10 @@
+"""Entry point for ``python -m repro.analysis``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

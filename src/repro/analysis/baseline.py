@@ -1,0 +1,143 @@
+"""Committed suppression baseline for the whole-program analyzer.
+
+A baseline entry grandfathers one known finding by ``(code, path
+suffix, symbol)`` — deliberately *not* by line number, so unrelated
+edits above a grandfathered site do not resurrect it.  The committed
+file at the repository root (``analysis_baseline.json``) is loaded by
+default when present; ``--write-baseline`` regenerates it from the
+current findings, and entries that no longer match anything are
+reported as stale so the file cannot quietly rot.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.analysis.callgraph import AnalysisError
+from repro.analysis.detectors import Finding
+
+#: Default baseline filename, resolved against the working directory.
+BASELINE_NAME = "analysis_baseline.json"
+
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    code: str
+    path: str
+    symbol: str
+
+    def matches(self, finding: Finding) -> bool:
+        normalized = finding.path.replace("\\", "/")
+        return (
+            self.code == finding.code
+            and self.symbol == finding.symbol
+            and normalized.endswith(self.path)
+        )
+
+
+def load_baseline(path: str) -> list[BaselineEntry]:
+    """Parse a baseline file; malformed input is an analysis error."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as error:
+        raise AnalysisError(
+            "cannot read baseline", path=path, cause=str(error)
+        ) from error
+    except json.JSONDecodeError as error:
+        raise AnalysisError(
+            "baseline is not valid JSON", path=path, cause=str(error)
+        ) from error
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        raise AnalysisError(
+            "unsupported baseline format",
+            path=path,
+            expected_version=_VERSION,
+        )
+    entries = payload.get("entries")
+    if not isinstance(entries, list):
+        raise AnalysisError("baseline entries must be a list", path=path)
+    parsed: list[BaselineEntry] = []
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise AnalysisError("baseline entry must be an object", path=path)
+        try:
+            parsed.append(
+                BaselineEntry(
+                    code=str(entry["code"]),
+                    path=str(entry["path"]),
+                    symbol=str(entry["symbol"]),
+                )
+            )
+        except KeyError as error:
+            raise AnalysisError(
+                "baseline entry missing a field", path=path, field=str(error)
+            ) from error
+    return parsed
+
+
+def apply_baseline(
+    findings: list[Finding], entries: list[BaselineEntry]
+) -> tuple[list[Finding], list[BaselineEntry]]:
+    """Split findings into (new, stale-entries).
+
+    A finding matched by any entry is grandfathered; an entry that
+    matches no finding is stale and should be pruned.
+    """
+    fresh: list[Finding] = []
+    used: set[BaselineEntry] = set()
+    for finding in findings:
+        matched = False
+        for entry in entries:
+            if entry.matches(finding):
+                used.add(entry)
+                matched = True
+        if not matched:
+            fresh.append(finding)
+    stale = [entry for entry in entries if entry not in used]
+    return fresh, stale
+
+
+def _suffix_of(path: str) -> str:
+    """The repo-stable suffix of a finding path (from ``src/`` on)."""
+    normalized = path.replace("\\", "/")
+    for marker in ("/src/", "/tests/", "/tools/", "/benchmarks/"):
+        index = normalized.rfind(marker)
+        if index >= 0:
+            return normalized[index + 1:]
+    return normalized.lstrip("/")
+
+
+def write_baseline(path: str, findings: list[Finding]) -> int:
+    """Serialize ``findings`` as a fresh baseline; returns entry count."""
+    entries = sorted(
+        {
+            (finding.code, _suffix_of(finding.path), finding.symbol)
+            for finding in findings
+        }
+    )
+    payload = {
+        "version": _VERSION,
+        "entries": [
+            {"code": code, "path": suffix, "symbol": symbol}
+            for code, suffix, symbol in entries
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)
+
+
+__all__ = [
+    "BASELINE_NAME",
+    "BaselineEntry",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,197 @@
+"""The ``python -m repro.analysis`` command line.
+
+Shares the exit-code convention of ``python -m repro.lint`` (and the
+``tools/`` scripts):
+
+* ``0`` — the scanned tree is clean (or every finding is baselined);
+* ``1`` — new findings;
+* ``2`` — usage error, or input that could not be read or parsed.
+
+Like :mod:`repro.lint.cli`, this module deliberately prints — it is
+the script layer RL007 routes user-facing output to.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+import repro
+from repro.analysis.baseline import (
+    BASELINE_NAME,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.callgraph import AnalysisError, build_call_graph
+from repro.analysis.detectors import DETECTORS, Finding, run_detectors
+from repro.analysis.facts import collect_facts
+
+USAGE = """\
+usage: python -m repro.analysis [options] [PATH ...]
+
+Whole-program static analysis for the round-elimination engine: builds
+the module-qualified call graph of the scanned tree and runs the
+interprocedural detectors AN001-AN004 (hot-path closure, budget
+reachability, lock order, counter flow).  With no PATH the installed
+`repro` package tree is scanned.
+
+Options:
+    --json                 emit findings as a JSON report on stdout
+    --baseline FILE        grandfather findings listed in FILE
+                           (default: ./analysis_baseline.json if present)
+    --no-baseline          ignore any default baseline file
+    --write-baseline FILE  write the current findings to FILE and exit 0
+    --only CODES           comma-separated detector codes to run
+    --list-detectors       print the detector catalogue and exit
+
+Waive a finding inline on its anchor line:
+    # analysis: disable=AN001 -- justification
+or, for AN002 loops:
+    # analysis: unbounded-ok(reason)
+
+Exit status (unified across repro tooling):
+    0  clean
+    1  findings
+    2  usage error or unreadable/unparseable input
+"""
+
+
+def list_detectors() -> str:
+    """The detector catalogue as aligned ``CODE name summary`` lines."""
+    width = max(len(detector.name) for detector in DETECTORS)
+    return "\n".join(
+        f"{detector.code}  {detector.name.ljust(width)}  {detector.summary}"
+        for detector in DETECTORS
+    )
+
+
+def _json_report(
+    findings: list[Finding], stale: list[str], scanned: int
+) -> str:
+    return json.dumps(
+        {
+            "schema": 1,
+            "scanned_modules": scanned,
+            "violations": [
+                {
+                    "code": finding.code,
+                    "path": finding.path,
+                    "line": finding.line,
+                    "symbol": finding.symbol,
+                    "message": finding.message,
+                }
+                for finding in findings
+            ],
+            "stale_baseline_entries": stale,
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def main(argv: list[str]) -> int:
+    paths: list[str] = []
+    as_json = False
+    baseline_path: str | None = None
+    no_baseline = False
+    write_path: str | None = None
+    only: list[str] | None = None
+    arguments = list(argv)
+    while arguments:
+        argument = arguments.pop(0)
+        if argument in ("-h", "--help"):
+            print(USAGE)  # reprolint: disable=RL007 -- the analysis CLI front-end
+            return 0
+        if argument == "--list-detectors":
+            print(list_detectors())  # reprolint: disable=RL007 -- the analysis CLI front-end
+            return 0
+        if argument == "--json":
+            as_json = True
+            continue
+        if argument == "--no-baseline":
+            no_baseline = True
+            continue
+        if argument in ("--baseline", "--write-baseline", "--only"):
+            if not arguments:
+                print(  # reprolint: disable=RL007 -- the analysis CLI front-end
+                    f"error: {argument} needs a value\n{USAGE}",
+                    file=sys.stderr,
+                )
+                return 2
+            value = arguments.pop(0)
+            if argument == "--baseline":
+                baseline_path = value
+            elif argument == "--write-baseline":
+                write_path = value
+            else:
+                only = [code.strip() for code in value.split(",") if code.strip()]
+                known = {detector.code for detector in DETECTORS}
+                unknown = [code for code in only if code not in known]
+                if unknown:
+                    print(  # reprolint: disable=RL007 -- the analysis CLI front-end
+                        f"error: unknown detector(s): {', '.join(unknown)}",
+                        file=sys.stderr,
+                    )
+                    return 2
+            continue
+        if argument.startswith("-"):
+            print(  # reprolint: disable=RL007 -- the analysis CLI front-end
+                f"error: unknown option {argument}\n{USAGE}", file=sys.stderr
+            )
+            return 2
+        paths.append(argument)
+    if not paths:
+        paths = [os.path.dirname(os.path.abspath(repro.__file__))]
+    if baseline_path is None and not no_baseline and write_path is None:
+        if os.path.isfile(BASELINE_NAME):
+            baseline_path = BASELINE_NAME
+
+    try:
+        graph = build_call_graph(paths)
+        facts = collect_facts(graph)
+        findings = run_detectors(graph, facts, only)
+        entries = load_baseline(baseline_path) if baseline_path else []
+    except AnalysisError as error:
+        print(  # reprolint: disable=RL007 -- the analysis CLI front-end
+            f"error: {error}", file=sys.stderr
+        )
+        return 2
+
+    if write_path is not None:
+        count = write_baseline(write_path, findings)
+        print(  # reprolint: disable=RL007 -- the analysis CLI front-end
+            f"repro.analysis: wrote {count} baseline entr"
+            f"{'y' if count == 1 else 'ies'} to {write_path}",
+            file=sys.stderr,
+        )
+        return 0
+
+    fresh, stale = apply_baseline(findings, entries)
+    stale_text = [
+        f"{entry.code} {entry.path} {entry.symbol}" for entry in stale
+    ]
+    if as_json:
+        print(  # reprolint: disable=RL007 -- the analysis CLI front-end
+            _json_report(fresh, stale_text, len(graph.modules))
+        )
+    else:
+        for finding in fresh:
+            print(finding.render())  # reprolint: disable=RL007 -- the analysis CLI front-end
+    for text in stale_text:
+        print(  # reprolint: disable=RL007 -- the analysis CLI front-end
+            f"warning: stale baseline entry: {text}", file=sys.stderr
+        )
+    if fresh:
+        print(  # reprolint: disable=RL007 -- the analysis CLI front-end
+            f"repro.analysis: {len(fresh)} finding(s) across "
+            f"{len(graph.modules)} module(s)"
+            + (f" ({len(findings) - len(fresh)} baselined)" if entries else ""),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+__all__ = ["USAGE", "list_detectors", "main"]

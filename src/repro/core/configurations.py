@@ -25,6 +25,7 @@ from collections import Counter
 from collections.abc import Hashable, Iterable, Iterator
 
 from repro.core.labels import render_label, render_label_set
+from repro.robustness import budget as _budget
 from repro.robustness.errors import InvalidProblem
 
 
@@ -243,7 +244,15 @@ class CondensedConfiguration:
                 list(itertools.combinations_with_replacement(members, exponent))
             )
         results: set[Configuration] = set()
+        checked = 0
         for combo in itertools.product(*group_options):
+            # Stride the probe: one-line expansions stay silent, a
+            # runaway product is caught within 64 configurations.
+            if len(results) - checked >= 64:
+                checked = len(results)
+                _budget.check_configurations(
+                    len(results), phase="condensed-expansion"
+                )
             labels: list = []
             for part in combo:
                 labels.extend(part)
@@ -322,6 +331,7 @@ def parse_condensed(text: str) -> CondensedConfiguration:
         position += 1
         return label
 
+    # analysis: unbounded-ok(single left-to-right scan of one constraint line)
     while True:
         skip_spaces()
         if position >= length:
@@ -330,6 +340,7 @@ def parse_condensed(text: str) -> CondensedConfiguration:
         if character == "[":
             position += 1
             members: list[str] = []
+            # analysis: unbounded-ok(consumes at least one character of the line per iteration)
             while True:
                 skip_spaces()
                 if position >= length:

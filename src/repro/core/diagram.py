@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.constraints import Constraint
 from repro.core.labels import render_label
+from repro.robustness import budget as _budget
 from repro.robustness.errors import InvalidProblem
 
 if TYPE_CHECKING:
@@ -114,7 +115,15 @@ class Diagram:
         scan is fast and simple, so that is what we do.
         """
         result = []
+        checked = 0
         for size in range(1, len(self._labels) + 1):
+            # Stride the probe: paper-sized alphabets stay silent,
+            # runaway enumeration is caught within 64 sets.
+            if len(result) - checked >= 64:
+                checked = len(result)
+                _budget.check_configurations(
+                    len(result), phase="right-closed-sets"
+                )
             for subset in itertools.combinations(self._labels, size):
                 if self.is_right_closed(subset):
                     result.append(frozenset(subset))

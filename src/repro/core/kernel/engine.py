@@ -346,8 +346,16 @@ class KernelProblem:
             return self._node_prefix_closure
         shift = self.delta.bit_length()
         closure: set[int] = set()
+        checked = 0
         for configuration in self.node_configs:
             for size in range(len(configuration) + 1):
+                # Stride the probe: small closures stay silent, runaway
+                # growth is caught within 64 packed prefixes.
+                if len(closure) - checked >= 64:
+                    checked = len(closure)
+                    _budget.check_configurations(
+                        len(closure), phase="node-prefix-closure"
+                    )
                 for combo in itertools.combinations(configuration, size):
                     closure.add(pack_ids(combo, shift))
         self._node_prefix_closure = frozenset(closure)
@@ -1106,9 +1114,17 @@ def existential_constraint_kernel(
             for label_set in labels
         )
         closure: set[int] = set()
+        checked = 0
         for configuration in old_constraint.configurations:
             items = interner.ids_of(configuration.items)
             for size in range(len(items) + 1):
+                # Stride the probe: small closures stay silent, runaway
+                # growth is caught within 64 packed prefixes.
+                if len(closure) - checked >= 64:
+                    checked = len(closure)
+                    _budget.check_configurations(
+                        len(closure), phase="existential"
+                    )
                 for combo in itertools.combinations(items, size):
                     closure.add(pack_ids(combo, shift))
         _elements, trans = closure_machine(closure, shift, len(interner))

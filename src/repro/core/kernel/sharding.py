@@ -737,6 +737,7 @@ class ShardScheduler:
                 1, -(-remaining // (max(self.workers, 1) * SHARDS_PER_WORKER))
             )
         start: int | None = None
+        # analysis: unbounded-ok(one pass over the chunk index space of a single dispatch)
         for index in range(state.count + 1):
             gap = index < state.count and index not in covered
             if gap and start is None:
@@ -750,6 +751,7 @@ class ShardScheduler:
 
     def _assign(self, state: "_RunState") -> None:
         now = time.monotonic()  # reprolint: disable=RL002 -- supervision clock, not output
+        # analysis: unbounded-ok(dispatches or breaks on every planned shard, bounded by the heap)
         while state.heap and state.heap[0][0] <= now:
             shard = state.heap[0][2]
             if (

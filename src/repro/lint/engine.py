@@ -25,7 +25,9 @@ from dataclasses import dataclass
 from repro.lint.rules import FileContext, check_file
 from repro.lint.violations import Violation, is_suppressed, parse_suppressions
 
-_SKIPPED_DIRS = ("lint_fixtures", "golden", "__pycache__")
+#: Directory names never descended into: lint and analyzer fixture
+#: trees carry deliberate violations, goldens are generated artifacts.
+_SKIPPED_DIRS = ("lint_fixtures", "fixtures", "golden", "__pycache__")
 
 
 @dataclass(frozen=True)

@@ -653,13 +653,23 @@ _HOTPATH_MARKER = "# hotpath"
 def _hotpath_functions(
     context: FileContext,
 ) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
-    """Functions marked ``# hotpath`` on the def line or the line above."""
+    """Functions marked ``# hotpath`` on the def line or the line above.
+
+    For a decorated function ``node.lineno`` is the ``def`` line, below
+    the decorators — so "the line above" is anchored at the function's
+    first line of source (its first decorator, if any), where the
+    marker naturally sits.
+    """
     lines = context.source.splitlines()
     for node in ast.walk(context.tree):
         if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             continue
         def_line = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
-        above = lines[node.lineno - 2] if node.lineno >= 2 else ""
+        anchor = min(
+            [node.lineno]
+            + [decorator.lineno for decorator in node.decorator_list]
+        )
+        above = lines[anchor - 2] if anchor >= 2 else ""
         if _HOTPATH_MARKER in def_line or above.strip() == _HOTPATH_MARKER:
             yield node
 

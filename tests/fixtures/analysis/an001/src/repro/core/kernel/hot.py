@@ -1,0 +1,35 @@
+"""AN001 fixture: a hot-path closure reaching a set-allocating helper.
+
+``dfs`` itself is allocation-free (RL010-clean); the violation only
+exists *across* the call edge into ``_expand``, which is exactly what
+AN001 adds over the per-file rule.
+"""
+
+from __future__ import annotations
+
+
+# hotpath
+def dfs(frontier: int, rows: tuple[int, ...]) -> int:
+    total = 0
+    while frontier:
+        low = frontier & -frontier
+        total |= _expand(low, rows)
+        total ^= _boot_table(low)
+        frontier ^= low
+    return total
+
+
+def _expand(mask: int, rows: tuple[int, ...]) -> int:
+    grown = set()
+    for row in rows:
+        if row & mask:
+            grown.add(row)
+    result = 0
+    for row in sorted(grown):
+        result |= row
+    return result
+
+
+def _boot_table(mask: int) -> int:
+    table = {mask}  # analysis: disable=AN001 -- one-off table build, amortized across the run
+    return len(table)

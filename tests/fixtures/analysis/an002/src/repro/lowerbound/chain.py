@@ -1,0 +1,15 @@
+"""AN002 fixture: the governed entry point threading a budget."""
+
+from __future__ import annotations
+
+from repro.core.ops import condense, explode, rebuild
+from repro.robustness.budget import governed
+
+
+def run(problem: object, budget: object) -> list:
+    with governed(budget):
+        return drive(problem)
+
+
+def drive(problem: object) -> list:
+    return explode(problem) + condense(problem) + rebuild(problem)

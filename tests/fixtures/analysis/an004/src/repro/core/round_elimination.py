@@ -1,0 +1,8 @@
+"""AN004 fixture: the reference engine's emission sites."""
+
+from __future__ import annotations
+
+
+def eliminate(span, labels: int) -> int:
+    span.add("labels.in")
+    return labels

@@ -1,0 +1,14 @@
+"""AN004 fixture: one dead counter, one single-engine semantic counter."""
+
+from __future__ import annotations
+
+SEMANTIC_COUNTERS = (
+    "labels.in",
+    "node.configs.out",
+)
+
+TIMING_COUNTERS = (
+    "cache.hit",
+    "cache.ghost",
+    "cache.legacy",  # analysis: disable=AN004 -- retired in schema v2, kept for replay decoding
+)

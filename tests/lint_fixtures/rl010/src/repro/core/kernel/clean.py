@@ -6,6 +6,8 @@ in the same kernel module may build sets freely.
 
 from __future__ import annotations
 
+import functools
+
 
 # hotpath
 def _grow(frontier: int, rows: tuple[int, ...]) -> int:
@@ -20,3 +22,9 @@ def _grow(frontier: int, rows: tuple[int, ...]) -> int:
 
 def _materialize(masks: tuple[int, ...]) -> frozenset[int]:
     return frozenset(masks)
+
+
+# hotpath
+@functools.lru_cache(maxsize=None)
+def _popcount(mask: int) -> int:
+    return mask.bit_count()

@@ -1,0 +1,460 @@
+"""Tests for the whole-program analyzer: fixtures, waivers, self-check.
+
+Each detector has a fixture mini-tree under
+``tests/fixtures/analysis/<anxxx>/`` mirroring the real layout
+(``src/repro/<package>/...``), so module naming and path scoping run
+identically over fixtures and product code.  Every tree seeds one true
+positive *and* one waived case, proving both that the detector fires
+and that its escape hatch works.
+
+The self-check tests then pin the shipped tree itself at zero
+findings — the same gate CI runs via ``python -m repro.analysis``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    DETECTORS,
+    build_call_graph,
+    collect_facts,
+    run_detectors,
+)
+from repro.analysis.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.callgraph import AnalysisError, module_name_of
+from repro.analysis.facts import parse_waivers
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "analysis"
+SRC_TREE = REPO_ROOT / "src" / "repro"
+
+DETECTOR_CODES = [detector.code for detector in DETECTORS]
+
+
+def analyze_fixture(name, codes=None):
+    """Build graph + facts for one fixture tree and run the detectors."""
+    graph = build_call_graph([str(FIXTURES / name / "src")])
+    facts = collect_facts(graph)
+    return graph, facts, run_detectors(graph, facts, codes)
+
+
+def run_cli(*argv, cwd=None, timeout=300):
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *argv],
+        cwd=cwd or REPO_ROOT,
+        env=environment,
+        stdin=subprocess.DEVNULL,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.fixture(scope="module")
+def real_tree():
+    """The shipped tree's graph and facts, built once per test module."""
+    graph = build_call_graph([str(SRC_TREE)])
+    return graph, collect_facts(graph)
+
+
+# ---------------------------------------------------------------------------
+# The catalogue itself
+# ---------------------------------------------------------------------------
+
+def test_catalogue_is_complete_and_ordered():
+    assert DETECTOR_CODES == [f"AN{i:03d}" for i in range(1, 5)]
+    assert len({detector.name for detector in DETECTORS}) == len(DETECTORS)
+    for detector in DETECTORS:
+        assert detector.summary
+
+
+def test_every_detector_has_a_fixture_tree():
+    for code in DETECTOR_CODES:
+        assert (FIXTURES / code.lower() / "src" / "repro").is_dir(), code
+
+
+# ---------------------------------------------------------------------------
+# Module naming mirrors the real tree
+# ---------------------------------------------------------------------------
+
+def test_module_name_derives_from_last_repro_component():
+    fixture = FIXTURES / "an001" / "src" / "repro" / "core" / "kernel" / "hot.py"
+    assert module_name_of(str(fixture)) == "repro.core.kernel.hot"
+    assert module_name_of("src/repro/core/__init__.py") == "repro.core"
+    assert module_name_of("somewhere/else/thing.py") is None
+
+
+def test_fixture_tree_links_cross_module_calls():
+    graph, _, _ = analyze_fixture("an002")
+    chain = graph.call_chain(
+        "repro.lowerbound.chain.run", "repro.core.ops.mutate"
+    )
+    assert chain is not None
+    assert chain[:2] == [
+        "repro.lowerbound.chain.run",
+        "repro.lowerbound.chain.drive",
+    ]
+    assert chain[2] in {
+        "repro.core.ops.explode",
+        "repro.core.ops.condense",
+        "repro.core.ops.rebuild",
+    }
+    assert chain[3] == "repro.core.ops.mutate"
+
+
+def test_thread_targets_become_roots():
+    graph, _, _ = analyze_fixture("an003")
+    assert "repro.service.worker.Coordinator.poll" in graph.thread_roots
+    assert "repro.service.worker.Coordinator.drain" in graph.thread_roots
+
+
+# ---------------------------------------------------------------------------
+# Per-detector fixtures: one true positive, one waived case each
+# ---------------------------------------------------------------------------
+
+def test_an001_flags_allocation_in_hot_closure_with_chain():
+    _, _, findings = analyze_fixture("an001")
+    assert [finding.code for finding in findings] == ["AN001"]
+    finding = findings[0]
+    assert finding.line == 23  # grown = set() inside _expand
+    assert finding.symbol == "repro.core.kernel.hot._expand"
+    assert "core.kernel.hot.dfs" in finding.message
+    assert "->" in finding.message  # the call chain is reported
+
+
+def test_an001_disable_comment_waives_the_boot_table():
+    _, _, findings = analyze_fixture("an001")
+    assert all(finding.line != 34 for finding in findings)
+
+
+def test_an002_flags_governed_loop_without_checkpoint():
+    _, _, findings = analyze_fixture("an002")
+    assert [finding.code for finding in findings] == ["AN002"]
+    finding = findings[0]
+    assert finding.line == 10  # the while loop in explode
+    assert finding.symbol == "repro.core.ops.explode"
+    assert "governed entry" in finding.message
+    assert "lowerbound.chain.run" in finding.message
+
+
+def test_an002_waiver_and_direct_checkpoint_both_pass():
+    _, _, findings = analyze_fixture("an002")
+    flagged = {finding.line for finding in findings}
+    assert 19 not in flagged  # condense: unbounded-ok(reason)
+    assert 27 not in flagged  # rebuild: checkpoint in the loop body
+
+
+def test_an002_empty_waiver_reason_is_itself_a_finding(tmp_path):
+    tree = tmp_path / "src" / "repro" / "core"
+    tree.mkdir(parents=True)
+    (tree / "mod.py").write_text(
+        "from repro.robustness.budget import governed\n"
+        "\n"
+        "\n"
+        "def run(items: object) -> int:\n"
+        "    with governed(items):\n"
+        "        return spin(items)\n"
+        "\n"
+        "\n"
+        "def spin(items: object) -> int:\n"
+        "    total = 0\n"
+        "    # analysis: unbounded-ok()\n"
+        "    while items:\n"
+        "        total += probe(items)\n"
+        "        items = None\n"
+        "    return total\n"
+        "\n"
+        "\n"
+        "def probe(items: object) -> int:\n"
+        "    return 1\n"
+    )
+    graph = build_call_graph([str(tmp_path / "src")])
+    facts = collect_facts(graph)
+    findings = run_detectors(graph, facts)
+    assert [finding.code for finding in findings] == ["AN002"]
+    assert "non-empty reason" in findings[0].message
+
+
+def test_an003_reports_cycle_and_unguarded_cross_thread_write():
+    _, _, findings = analyze_fixture("an003")
+    assert [finding.code for finding in findings] == ["AN003", "AN003"]
+    cycle, write = findings
+    assert cycle.line == 35  # with self._lock: inside drain
+    assert "lock-order cycle" in cycle.message
+    assert "Coordinator._aux" in cycle.message
+    assert "Coordinator._lock" in cycle.message
+    assert write.line == 37  # self._pulse -= 1 in drain
+    assert write.symbol == "repro.service.worker.Coordinator._pulse"
+    assert "no common lock held" in write.message
+
+
+def test_an003_guarded_and_waived_writes_pass():
+    _, _, findings = analyze_fixture("an003")
+    symbols = {finding.symbol for finding in findings}
+    assert "repro.service.worker.Coordinator._jobs" not in symbols
+    assert "repro.service.worker.Coordinator._beacon" not in symbols
+
+
+def test_an004_flags_dead_and_single_engine_counters():
+    _, _, findings = analyze_fixture("an004")
+    assert [finding.code for finding in findings] == ["AN004", "AN004"]
+    single, dead = findings
+    assert single.symbol == "node.configs.out"
+    assert "only by the kernel engine" in single.message
+    assert dead.symbol == "cache.ghost"
+    assert "emitted nowhere" in dead.message
+
+
+def test_an004_waived_and_healthy_counters_pass():
+    _, _, findings = analyze_fixture("an004")
+    symbols = {finding.symbol for finding in findings}
+    assert "cache.legacy" not in symbols  # disable comment
+    assert "labels.in" not in symbols  # both engines emit it
+    assert "cache.hit" not in symbols  # timing counter, one engine is fine
+
+
+# ---------------------------------------------------------------------------
+# Waiver comment parsing
+# ---------------------------------------------------------------------------
+
+def test_parse_waivers_reads_both_comment_forms():
+    disable, unbounded = parse_waivers(
+        "x = 1  # analysis: disable=AN001, AN003 -- justified\n"
+        "y = 2  # analysis: disable=all\n"
+        "# analysis: unbounded-ok(scan is one pass)\n"
+        "while y:\n"
+        "    pass\n"
+    )
+    assert disable[1] == {"AN001", "AN003"}
+    assert disable[2] == {"all"}
+    assert unbounded[3] == "scan is one pass"
+
+
+def test_parse_waivers_keeps_empty_reason_distinct():
+    _, unbounded = parse_waivers("# analysis: unbounded-ok()\n")
+    assert unbounded[1] == ""
+
+
+# ---------------------------------------------------------------------------
+# Baseline round-trip
+# ---------------------------------------------------------------------------
+
+def test_baseline_round_trip_grandfathers_findings(tmp_path):
+    _, _, findings = analyze_fixture("an001")
+    baseline_file = tmp_path / "baseline.json"
+    assert write_baseline(str(baseline_file), findings) == 1
+    entries = load_baseline(str(baseline_file))
+    fresh, stale = apply_baseline(findings, entries)
+    assert fresh == []
+    assert stale == []
+
+
+def test_baseline_reports_stale_entries(tmp_path):
+    _, _, findings = analyze_fixture("an001")
+    baseline_file = tmp_path / "baseline.json"
+    baseline_file.write_text(
+        json.dumps(
+            {
+                "version": 1,
+                "entries": [
+                    {
+                        "code": "AN001",
+                        "path": "src/repro/core/kernel/hot.py",
+                        "symbol": "repro.core.kernel.hot._expand",
+                    },
+                    {
+                        "code": "AN003",
+                        "path": "src/repro/service/gone.py",
+                        "symbol": "repro.service.gone.Ghost._x",
+                    },
+                ],
+            }
+        )
+    )
+    fresh, stale = apply_baseline(findings, load_baseline(str(baseline_file)))
+    assert fresh == []
+    assert [entry.code for entry in stale] == ["AN003"]
+
+
+def test_malformed_baseline_is_an_analysis_error(tmp_path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text('{"version": 99, "entries": []}')
+    with pytest.raises(AnalysisError):
+        load_baseline(str(bad))
+
+
+# ---------------------------------------------------------------------------
+# The shipped tree: self-check and schema closure
+# ---------------------------------------------------------------------------
+
+def test_shipped_tree_has_zero_findings(real_tree):
+    graph, facts = real_tree
+    findings = run_detectors(graph, facts)
+    assert findings == [], [finding.render() for finding in findings]
+
+
+def test_schema_emission_closure(real_tree):
+    """Every declared counter is emitted somewhere — the list can't rot."""
+    graph, facts = real_tree
+    assert facts.schema, "schema tables not found in the scanned tree"
+    emitted = {
+        name
+        for summary in facts.functions.values()
+        for name, _ in summary.counter_adds
+    }
+    missing = sorted(set(facts.schema) - emitted)
+    assert not missing, f"declared but never emitted: {missing}"
+
+
+def test_semantic_counters_are_engine_symmetric(real_tree):
+    """Semantic counters are emitted by both engines or by neither."""
+    graph, facts = real_tree
+    for name in sorted(facts.semantic_counters):
+        sites = [
+            qualname
+            for qualname, summary in facts.functions.items()
+            for counter, _ in summary.counter_adds
+            if counter == name
+        ]
+        kernel = [
+            site
+            for site in sites
+            if "kernel" in graph.functions[site].module.split(".")
+        ]
+        reference = [
+            site
+            for site in sites
+            if "round_elimination" in graph.functions[site].module.split(".")
+        ]
+        assert bool(kernel) == bool(reference), (name, kernel, reference)
+
+
+def test_committed_baseline_is_current():
+    """The repo-root baseline parses and carries no stale entries."""
+    entries = load_baseline(str(REPO_ROOT / "analysis_baseline.json"))
+    graph = build_call_graph([str(SRC_TREE)])
+    findings = run_detectors(graph, collect_facts(graph))
+    _, stale = apply_baseline(findings, entries)
+    assert stale == [], [entry.path for entry in stale]
+
+
+# ---------------------------------------------------------------------------
+# The command line, exactly as CI runs it
+# ---------------------------------------------------------------------------
+
+class TestAnalysisCli:
+    def test_shipped_tree_is_clean(self):
+        completed = run_cli()
+        assert completed.returncode == 0, completed.stdout + completed.stderr
+
+    def test_fixture_tree_exits_1_with_findings(self):
+        completed = run_cli("tests/fixtures/analysis/an001/src")
+        assert completed.returncode == 1
+        assert "AN001" in completed.stdout
+        assert "finding" in completed.stderr
+
+    def test_json_report_shape(self):
+        completed = run_cli("--json", "tests/fixtures/analysis/an004/src")
+        assert completed.returncode == 1
+        report = json.loads(completed.stdout)
+        assert report["schema"] == 1
+        assert report["scanned_modules"] == 3
+        assert [v["code"] for v in report["violations"]] == ["AN004", "AN004"]
+        assert report["stale_baseline_entries"] == []
+
+    def test_write_then_apply_baseline_grandfathers(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        wrote = run_cli(
+            "--write-baseline", str(baseline),
+            "tests/fixtures/analysis/an003/src",
+        )
+        assert wrote.returncode == 0, wrote.stderr
+        assert baseline.is_file()
+        applied = run_cli(
+            "--baseline", str(baseline),
+            "tests/fixtures/analysis/an003/src",
+        )
+        assert applied.returncode == 0, applied.stdout + applied.stderr
+
+    def test_stale_baseline_entry_warns(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": [
+                        {
+                            "code": "AN001",
+                            "path": "src/repro/core/kernel/hot.py",
+                            "symbol": "repro.core.kernel.hot._expand",
+                        },
+                        {
+                            "code": "AN002",
+                            "path": "src/repro/core/gone.py",
+                            "symbol": "repro.core.gone.loop",
+                        },
+                    ],
+                }
+            )
+        )
+        completed = run_cli(
+            "--baseline", str(baseline),
+            "tests/fixtures/analysis/an001/src",
+        )
+        assert completed.returncode == 0
+        assert "stale baseline entry" in completed.stderr
+
+    def test_only_restricts_detectors(self):
+        completed = run_cli(
+            "--only", "AN001", "tests/fixtures/analysis/an004/src"
+        )
+        assert completed.returncode == 0, completed.stdout + completed.stderr
+
+    def test_unknown_only_code_exits_2(self):
+        completed = run_cli("--only", "AN999")
+        assert completed.returncode == 2
+        assert completed.stderr.startswith("error:")
+
+    def test_missing_path_exits_2(self):
+        completed = run_cli("no/such/tree")
+        assert completed.returncode == 2
+        assert completed.stderr.startswith("error:")
+
+    def test_unparseable_input_exits_2(self, tmp_path):
+        tree = tmp_path / "src" / "repro"
+        tree.mkdir(parents=True)
+        (tree / "broken.py").write_text("def oops(:\n")
+        completed = run_cli(str(tree))
+        assert completed.returncode == 2
+        assert completed.stderr.startswith("error:")
+
+    def test_unknown_option_exits_2(self):
+        completed = run_cli("--bogus")
+        assert completed.returncode == 2
+        assert completed.stderr.startswith("error:")
+
+    def test_help_documents_exit_codes(self):
+        completed = run_cli("--help")
+        assert completed.returncode == 0
+        assert "Exit status" in completed.stdout
+        for fragment in ("0  clean", "1  findings", "2  usage"):
+            assert fragment in completed.stdout
+
+    def test_list_detectors_prints_the_catalogue(self):
+        completed = run_cli("--list-detectors")
+        assert completed.returncode == 0
+        for code in DETECTOR_CODES:
+            assert code in completed.stdout

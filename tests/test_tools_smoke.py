@@ -413,6 +413,72 @@ class TestReproLint:
         assert "violation" in completed.stderr
 
 
+class TestReproAnalysis:
+    def test_shipped_tree_is_clean(self):
+        completed = run_script("-m", "repro.analysis")
+        assert completed.returncode == 0, completed.stdout + completed.stderr
+
+    def test_help_exits_0_and_documents_exit_codes(self):
+        completed = run_script("-m", "repro.analysis", "--help")
+        assert completed.returncode == 0
+        assert "Exit status" in completed.stdout
+        for fragment in ("0  clean", "1  findings", "2  usage"):
+            assert fragment in completed.stdout
+
+    def test_fixture_tree_exits_1_with_json_report(self):
+        completed = run_script(
+            "-m", "repro.analysis", "--json",
+            "tests/fixtures/analysis/an001/src",
+        )
+        assert completed.returncode == 1
+        report = json.loads(completed.stdout)
+        assert [v["code"] for v in report["violations"]] == ["AN001"]
+
+    def test_missing_path_exits_2(self):
+        completed = run_script("-m", "repro.analysis", "no/such/tree")
+        assert completed.returncode == 2
+        assert completed.stderr.startswith("error:")
+
+
+class TestCallgraphReport:
+    def test_stats_line_over_shipped_tree(self):
+        completed = run_script("tools/callgraph_report.py", "--stats")
+        assert completed.returncode == 0, completed.stderr
+        assert completed.stdout.startswith("callgraph: ")
+        assert "thread roots" in completed.stdout
+
+    def test_dot_output_is_well_formed(self):
+        completed = run_script(
+            "tools/callgraph_report.py", "--format", "dot", "--threads"
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert completed.stdout.startswith("digraph callgraph {")
+        assert completed.stdout.rstrip().endswith("}")
+
+    def test_hotpath_filter_selects_kernel_closure(self):
+        completed = run_script("tools/callgraph_report.py", "--hotpath")
+        assert completed.returncode == 0, completed.stderr
+        assert "_maximization_dfs" in completed.stdout
+
+    def test_ambiguous_root_exits_2(self):
+        completed = run_script(
+            "tools/callgraph_report.py", "--root", "right_closed_sets"
+        )
+        assert completed.returncode == 2
+        assert completed.stderr.startswith("error:")
+        assert "ambiguous" in completed.stderr
+
+    def test_unknown_flag_exits_2(self):
+        completed = run_script("tools/callgraph_report.py", "--bogus")
+        assert completed.returncode == 2
+        assert completed.stderr.startswith("error:")
+
+    def test_help_documents_exit_codes(self):
+        completed = run_script("tools/callgraph_report.py", "--help")
+        assert completed.returncode == 0
+        assert "Exit status" in completed.stdout
+
+
 class TestCliTraceFlags:
     def test_round_eliminator_trace_and_metrics(self, tmp_path):
         trace = tmp_path / "re.jsonl"
